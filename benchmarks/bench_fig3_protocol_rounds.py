@@ -1,0 +1,66 @@
+"""Figure 3: the increase-container protocol.
+
+The paper sketches the rounds of control messages among the global manager,
+container manager, and component executables.  This bench traces one
+increase and prints the observed round sequence, verifying the protocol
+shape: request in, per-replica spawn + metadata-exchange rounds, completion
+out.
+"""
+
+import pytest
+
+from repro.simkernel import Environment
+from repro import PipelineBuilder, WeakScalingWorkload
+
+from conftest import print_table
+
+
+def run_increase(new_nodes=2):
+    env = Environment()
+    wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=16, spare_staging_nodes=3,
+                             output_interval=15.0, total_steps=4)
+    # Keep the default 13-node stage allocation; 3 spares remain for us.
+    from repro.containers.pipeline import default_stages
+
+    builder = PipelineBuilder(env, wl, stages=default_stages(
+        WeakScalingWorkload(sim_nodes=256, staging_nodes=13)),
+        seed=0, control_interval=10_000)
+    pipe = builder.build()
+
+    def do(env):
+        yield env.timeout(1)
+        yield pipe.global_manager.increase("bonds", new_nodes)
+
+    env.process(do(env))
+    pipe.run(settle=60)
+    return pipe.tracer.of("increase")[0]
+
+
+def test_fig3_increase_protocol_rounds(benchmark):
+    record = benchmark.pedantic(run_increase, rounds=1, iterations=1)
+    print_table(
+        "Figure 3: increase protocol rounds (+2 replicas)",
+        ["#", "Round"],
+        [[i, r] for i, r in enumerate(record.rounds)],
+    )
+    benchmark.extra_info["rounds"] = record.rounds
+    benchmark.extra_info["messages"] = record.messages
+
+    # Shape: request first, completion last, one spawn+ready pair per replica.
+    assert record.rounds[0] == "global->local: increase request"
+    assert record.rounds[-1] == "local->global: resize complete"
+    spawns = [r for r in record.rounds if "spawn" in r]
+    readies = [r for r in record.rounds if "ready" in r]
+    assert len(spawns) == 2
+    assert len(readies) == 2
+    # Each new replica exchanged metadata with manager + peers + writers.
+    assert record.messages["intra_container"] >= 2 * 2  # >= 2 peers each
+
+
+def test_fig3_rounds_scale_with_replicas(benchmark):
+    def both():
+        return run_increase(1), run_increase(3)
+
+    small, big = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert len(big.rounds) > len(small.rounds)
+    assert big.messages["intra_container"] > small.messages["intra_container"]

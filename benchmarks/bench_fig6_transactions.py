@@ -1,0 +1,97 @@
+"""Figure 6: microbenchmark of the resilience (D2T transaction) protocol.
+
+x-axis: core ratio between writers and readers (e.g. 512 writers : 4
+readers); y-axis: time to complete one transaction.  Paper finding: "the
+solution provides good scalability" — time grows slowly (logarithmically,
+via the in-group aggregation trees) with the writer count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import Environment
+from repro.cluster import redsky
+from repro.evpath import Messenger
+from repro.transactions import TransactionManager
+
+from conftest import print_table
+
+RATIOS = [(64, 2), (128, 4), (256, 4), (512, 4), (1024, 8), (2048, 8)]
+
+
+def run_ratio(writers, readers):
+    env = Environment()
+    machine = redsky(env, num_nodes=writers + readers + 1)
+    messenger = Messenger(env, machine.network)
+    tm = TransactionManager(env, messenger, machine.nodes[-1])
+    wg = tm.build_group("writers", machine.nodes[:writers], fanout=8)
+    rg = tm.build_group("readers", machine.nodes[writers:writers + readers], fanout=8)
+    outcomes = []
+
+    def proc(env):
+        for _ in range(3):
+            out = yield tm.run([wg, rg])
+            outcomes.append(out)
+
+    env.process(proc(env))
+    env.run(until=600)
+    assert all(o.committed for o in outcomes)
+    return float(np.mean([o.total for o in outcomes]))
+
+
+def run_sweep():
+    return [(w, r, run_ratio(w, r)) for w, r in RATIOS]
+
+
+def test_fig6_transaction_scalability(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "Figure 6: Resilience Protocol Overhead (RedSky model)",
+        ["Writers:Readers", "Txn time (ms)"],
+        [[f"{w}:{r}", f"{t * 1000:.3f}"] for w, r, t in results],
+    )
+    benchmark.extra_info["series"] = [
+        {"writers": w, "readers": r, "seconds": t} for w, r, t in results
+    ]
+    times = [t for _, _, t in results]
+    # All transactions complete in protocol time, not data time.
+    assert all(t < 0.1 for t in times)
+    # Good scalability: 32x more writers costs far less than 32x the time.
+    assert times[-1] < times[0] * 8
+    # But it is not free either — more participants means deeper trees.
+    assert times[-1] > times[0]
+
+
+def test_fig6_failure_does_not_change_scaling(benchmark):
+    """A crash-induced abort costs one timeout, independent of group size."""
+    from repro.transactions import FailureInjector
+    import repro.transactions.coordinator as coord_mod
+
+    def run():
+        results = []
+        for writers in (64, 512):
+            env = Environment()
+            machine = redsky(env, num_nodes=writers + 5)
+            messenger = Messenger(env, machine.network)
+            injector = FailureInjector()
+            tm = TransactionManager(env, messenger, machine.nodes[-1],
+                                    injector=injector, vote_timeout=1.0)
+            wg = tm.build_group("w", machine.nodes[:writers], fanout=8)
+            probe = next(coord_mod._TXN_IDS)
+            coord_mod._TXN_IDS = iter(range(probe + 1, probe + 100))
+            injector.inject("w-p0", probe + 1, "crash")
+            outcomes = []
+
+            def proc(env):
+                out = yield tm.run([wg])
+                outcomes.append(out)
+
+            env.process(proc(env))
+            env.run(until=60)
+            results.append((writers, outcomes[0]))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    for writers, outcome in results:
+        assert not outcome.committed
+        assert outcome.vote_phase == pytest.approx(1.0, rel=0.1)  # = the timeout

@@ -1,0 +1,154 @@
+"""Table I: characteristics of the SmartPointer analysis actions.
+
+Regenerates each row — complexity, compute model, dynamic branching — and
+*verifies the complexity column empirically* by timing the real kernels over
+a range of atom counts and fitting the scaling exponent:
+
+* Helper (merge):       O(n)    — fitted exponent ~1
+* Bonds (naive scan):   O(n^2)  — fitted exponent ~2
+* CSym:                 O(n)    — fitted exponent ~1
+* CNA (dense core):     O(n^3)  — fitted exponent ~3 (A @ A on n x n)
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.lammps import hex_lattice
+from repro.lammps.crack import BOND_CUTOFF
+from repro.smartpointer import (
+    SMARTPOINTER_COMPONENTS,
+    bonds_adjacency,
+    central_symmetry,
+    helper_merge,
+)
+from repro.smartpointer.cna import cna_dense
+from repro.smartpointer.helper import partition_atoms
+
+from conftest import print_table
+
+
+def fit_exponent(sizes, times):
+    """Least-squares slope of log(time) vs log(n)."""
+    return float(np.polyfit(np.log(sizes), np.log(times), 1)[0])
+
+
+def _time(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def measure_helper():
+    sizes, times = [], []
+    for nx in (40, 80, 160, 320):
+        pos, _ = hex_lattice(nx, 40)
+        n = len(pos)
+        data = {"id": np.arange(n, dtype=np.uint32), "x": pos[:, 0], "y": pos[:, 1]}
+        fragments = partition_atoms(data, 8)
+        sizes.append(n)
+        times.append(_time(lambda: helper_merge(fragments)))
+    return sizes, times
+
+
+def measure_bonds_naive():
+    sizes, times = [], []
+    for nx in (12, 24, 48, 72):
+        pos, _ = hex_lattice(nx, 12)
+        sizes.append(len(pos))
+        times.append(_time(lambda: bonds_adjacency(pos, BOND_CUTOFF, "naive")))
+    return sizes, times
+
+
+def measure_csym():
+    sizes, times = [], []
+    for nx in (10, 20, 40, 60):
+        pos, _ = hex_lattice(nx, 10)
+        sizes.append(len(pos))
+        times.append(_time(lambda: central_symmetry(pos, 6, 1.5), repeats=1))
+    return sizes, times
+
+
+def measure_cna_dense():
+    rng = np.random.default_rng(0)
+    sizes, times = [], []
+    for n in (100, 200, 400, 800):
+        a = rng.random((n, n)) < 0.02
+        a = a | a.T
+        np.fill_diagonal(a, False)
+        sizes.append(n)
+        times.append(_time(lambda: cna_dense(a)))
+    return sizes, times
+
+
+EXPECTED = {
+    # component: (measure fn, expected exponent, tolerance)
+    "helper": (measure_helper, 1.0, 0.6),
+    "bonds": (measure_bonds_naive, 2.0, 0.6),
+    "csym": (measure_csym, 1.0, 0.5),
+    "cna": (measure_cna_dense, 3.0, 0.9),
+}
+
+
+@pytest.mark.parametrize("name", list(EXPECTED))
+def test_table1_complexity_fits(benchmark, name):
+    measure, expected, tol = EXPECTED[name]
+    sizes, times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    exponent = fit_exponent(sizes, times)
+    spec = SMARTPOINTER_COMPONENTS[name]
+    benchmark.extra_info.update(
+        {
+            "declared": spec.complexity,
+            "fitted_exponent": round(exponent, 2),
+            "compute_models": [m.value for m in spec.compute_models],
+            "dynamic_branching": spec.dynamic_branching,
+        }
+    )
+    print_table(
+        f"Table I row: {name}",
+        ["Component", "Complexity", "Fitted exp", "Compute model", "Dyn. branching"],
+        [[
+            name,
+            spec.complexity,
+            f"{exponent:.2f}",
+            ", ".join(m.value for m in spec.compute_models),
+            "Yes" if spec.dynamic_branching else "No",
+        ]],
+    )
+    assert abs(exponent - expected) <= tol, (
+        f"{name}: fitted exponent {exponent:.2f}, expected ~{expected}"
+    )
+
+
+def test_table1_full(benchmark):
+    """The complete Table I as the paper prints it."""
+
+    def build():
+        rows = []
+        for name, spec in SMARTPOINTER_COMPONENTS.items():
+            models = {
+                "tree": "Tree",
+                "serial": "Serial",
+                "rr": "RR",
+                "parallel": "Parallel",
+            }
+            rows.append([
+                name.capitalize(),
+                spec.complexity,
+                ", ".join(models[m.value] for m in spec.compute_models),
+                "Yes" if spec.dynamic_branching else "No",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table("Table I: SmartPointer analysis actions",
+                ["", "Complexity", "Compute Model", "Dynamic Branching"], rows)
+    by_name = {r[0]: r for r in rows}
+    assert by_name["Helper"][1:] == ["O(n)", "Tree", "No"]
+    assert by_name["Bonds"][1:] == ["O(n^2)", "Serial, RR, Parallel", "Yes"]
+    assert by_name["Csym"][1:] == ["O(n)", "Serial, RR", "No"]
+    assert by_name["Cna"][1:] == ["O(n^3)", "Serial, RR", "No"]

@@ -1,0 +1,47 @@
+"""Table II: experiment data sizes (node count -> atoms -> data size).
+
+Regenerates the table from the workload generator and verifies the exact
+published values.
+"""
+
+import pytest
+
+from repro.lammps.workload import TABLE_II, WeakScalingWorkload, atoms_for_nodes
+
+from conftest import print_table
+
+
+def test_table2_data_sizes(benchmark):
+    def build():
+        rows = []
+        for nodes in (256, 512, 1024):
+            wl = WeakScalingWorkload(sim_nodes=nodes, staging_nodes=24)
+            rows.append((nodes, wl.natoms, wl.bytes_per_step))
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(
+        "Table II: Experiment Data Sizes",
+        ["Node Count", "Atoms", "Data size"],
+        [[n, f"{a:,}", f"{b / 2**20:.1f} MB"] for n, a, b in rows],
+    )
+    benchmark.extra_info["rows"] = [
+        {"nodes": n, "atoms": a, "bytes": b} for n, a, b in rows
+    ]
+    # Exact paper values.
+    assert rows[0][1] == 8_819_989
+    assert rows[1][1] == 17_639_979
+    assert rows[2][1] == 35_279_958
+    assert rows[0][2] == pytest.approx(67 * 2**20, rel=0.005)
+    assert rows[1][2] == pytest.approx(134.6 * 2**20, rel=0.005)
+    assert rows[2][2] == pytest.approx(269.2 * 2**20, rel=0.005)
+
+
+def test_table2_weak_scaling_is_linear(benchmark):
+    """Atoms per node is constant across the sweep (weak scaling)."""
+
+    def build():
+        return [atoms_for_nodes(n) / n for n in (128, 256, 512, 1024, 2048)]
+
+    ratios = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert max(ratios) - min(ratios) < 1.0

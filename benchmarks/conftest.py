@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Conventions:
+
+* ``benchmark.pedantic(..., rounds=1)`` wraps the experiment (simulations are
+  deterministic; repeated rounds add nothing);
+* the reproduced rows/series are printed to stdout in the shape the paper
+  reports, and attached to ``benchmark.extra_info`` for machine consumption;
+* assertions encode the DESIGN.md shape criteria so a regression in the
+  reproduction fails the bench run.
+"""
+
+import sys
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Render a fixed-width table to stdout (shown with pytest -s or on the
+    captured report)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out = [f"\n== {title} ==", line, "  ".join("-" * w for w in widths)]
+    for row in rows:
+        out.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    text = "\n".join(out)
+    print(text)
+    # pytest captures stdout; also mirror to stderr-unbuffered for -s runs.
+    return text
+
+
+def print_series(title, pairs, fmt="{:.0f}:{:.1f}"):
+    print(f"\n== {title} ==")
+    print("  ".join(fmt.format(x, y) for x, y in pairs))

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Flame-front tracking: the S3D combustion workflow on real physics.
+
+The paper's "current work" applies containers to S3D's flame-front tracking
+and visualization pipeline.  This example runs the real thing at laptop
+scale: a Fisher-KPP reaction front propagates across a 2-D domain; every
+output epoch the front-extraction component locates the u=0.5 isoline and
+the tracker derives speed and wrinkling — converging on the theoretical
+traveling-wave speed 2*sqrt(D*r).
+
+Run:  python examples/flame_front_pipeline.py
+"""
+
+import numpy as np
+
+from repro.s3d import FrontTracker, ReactionDiffusion
+
+
+def main() -> None:
+    diffusivity, rate = 1.0, 0.25
+    solver = ReactionDiffusion(nx=700, ny=24, dx=0.5,
+                               diffusivity=diffusivity, rate=rate)
+    solver.ignite_left(10)
+    tracker = FrontTracker(dx=0.5)
+    print(f"Fisher-KPP front: D={diffusivity}, r={rate}  ->  "
+          f"theoretical speed c = 2*sqrt(D*r) = {solver.wave_speed:.3f}\n")
+    print(f"{'t':>8} {'front x':>9} {'speed':>7} {'burnt':>7} {'wrinkle':>8}")
+
+    for epoch in range(40):
+        solver.step(100)
+        sample = tracker.update(solver.time, solver.u)
+        speed = f"{sample.speed:.3f}" if sample.speed is not None else "  -"
+        print(f"{sample.time:8.1f} {sample.position:9.2f} {speed:>7} "
+              f"{sample.burnt_fraction:7.3f} {sample.wrinkling:8.4f}")
+        if sample.position > 0.75 * 700 * 0.5:
+            break
+
+    from repro.visualize import render_field
+
+    print("\nProgress variable u (burnt @ ... unburnt blank):")
+    print(render_field(solver.u, width=72, height=8, vmin=0.0, vmax=1.0))
+
+    measured = tracker.mean_speed(skip=8)
+    error = abs(measured - solver.wave_speed) / solver.wave_speed
+    print(f"\nMeasured mean front speed: {measured:.3f} "
+          f"(theory {solver.wave_speed:.3f}, {error:.1%} off — the discrete "
+          f"front relaxes onto the traveling wave from below)")
+    print(f"Tracker state (migrates on container resizes): "
+          f"{tracker.state_bytes()} bytes over {len(tracker.samples)} samples")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fragment tracking on real physics: the CTH shock-physics workflow.
+
+The paper's future work: "a data pipeline that turns the raw atomic data
+into materials fragments to allow tracking.  By moving this workflow online,
+data can be staged and processed, both generating fragments and tracking
+them as they evolve in the simulation."
+
+This example runs the whole workflow on real data: the notched plate is
+pulled until it fractures; each epoch the bond graph's connected components
+become fragments, and the tracker follows their identities — reporting the
+split when the crack finally severs the plate.
+
+Run:  python examples/fragment_tracking.py
+"""
+
+from repro.lammps import CrackExperiment
+from repro.lammps.crack import BOND_CUTOFF
+from repro.smartpointer import bonds_adjacency
+from repro.smartpointer.fragments import FragmentTracker
+
+
+def main() -> None:
+    print("Pulling a notched plate until it fractures ...\n")
+    experiment = CrackExperiment(nx=36, ny=22, md_steps_per_epoch=50, seed=11)
+    tracker = FragmentTracker(min_size=10)
+
+    print(f"{'epoch':>5} {'strain':>7} {'bonds':>6} {'fragments':>9}  sizes")
+    for epoch in range(35):
+        frame = experiment.run_epoch()
+        pairs = bonds_adjacency(frame.snapshot.positions, BOND_CUTOFF,
+                                method="celllist")
+        tracker.update(pairs, frame.snapshot.natoms)
+        sizes = sorted(tracker.sizes.values(), reverse=True)
+        print(f"{epoch:5d} {frame.strain:7.3f} {len(pairs):6d} "
+              f"{tracker.fragment_count:9d}  {sizes[:4]}")
+        if tracker.fragment_count >= 2 and frame.broken_fraction > 0.06:
+            break
+
+    print("\nFragment identity events:")
+    for event in tracker.events:
+        if event.kind == "appear" and event.epoch == 0:
+            continue  # initial population
+        print(f"  epoch {event.epoch:3d}  {event.kind:7s} "
+              f"fragments {event.fragment_ids} {event.detail}")
+
+    if tracker.fragment_count >= 2:
+        sizes = sorted(tracker.sizes.items(), key=lambda kv: -kv[1])
+        print(f"\nThe plate separated into {tracker.fragment_count} tracked "
+              f"fragments; the two largest are "
+              f"#{sizes[0][0]} ({sizes[0][1]} atoms) and "
+              f"#{sizes[1][0]} ({sizes[1][1]} atoms).")
+
+    from repro.visualize import legend, render_atoms
+
+    print("\nFinal configuration, colored by fragment id:")
+    print(render_atoms(frame.snapshot.positions, tracker.ids,
+                       width=72, height=20))
+    print(legend(tracker.ids))
+    print(f"\nTracker state that would migrate on a container resize: "
+          f"{tracker.state_bytes() / 1024:.1f} KiB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Offline fallback: when no resources can save the pipeline, prune it.
+
+The Figure 9 scenario: 1024 simulation nodes produce 269 MiB every 15
+seconds and the Bonds analysis cannot keep up with any possible staging
+allocation.  Watch the runtime: it grants the spare nodes, observes the
+upstream buffers filling, predicts the overflow that would block the
+simulation, and takes Bonds — and its dependents CSym and CNA — offline.
+The Helper keeps aggregating and writes raw data to the parallel file
+system labeled with its processing provenance, so the pruned analyses can
+run post-hoc.
+
+Run:  python examples/offline_fallback_demo.py
+"""
+
+from collections import Counter
+
+from repro import Environment, PipelineBuilder, WeakScalingWorkload
+
+
+def main() -> None:
+    env = Environment()
+    workload = WeakScalingWorkload(
+        sim_nodes=1024, staging_nodes=24, spare_staging_nodes=4,
+        output_interval=15.0, total_steps=60,
+    )
+    pipe = PipelineBuilder(env, workload, seed=1).build()
+    print(f"1024-node run: {workload.bytes_per_step / 2**20:.0f} MiB per step, "
+          f"24 staging nodes (4 spare)\n")
+    pipe.run(settle=300)
+
+    print("Timeline of management decisions:")
+    for t, label in pipe.telemetry.events:
+        print(f"  t={t:7.1f}s  {label}")
+
+    print("\nContainer fates:")
+    for name, container in pipe.containers.items():
+        fate = "OFFLINE" if container.offline else "online"
+        print(f"  {name:8s} {fate:8s} processed {container.completions} timesteps")
+
+    occ = pipe.telemetry.get("bonds", "buffer_occupancy")
+    print("\nUpstream buffer occupancy feeding Bonds (the overflow signal):")
+    print("  " + " ".join(f"{t:.0f}s:{v:.0%}" for t, v in
+                          zip(occ.times[::3], occ.values[::3])))
+
+    e2e = pipe.telemetry.get("pipeline", "end_to_end")
+    print("\nEnd-to-end latency per exiting timestep (Figure 10):")
+    print("  " + " ".join(f"{v:.0f}" for v in e2e.values))
+
+    kinds = Counter(f.name.split(".")[0] + ("(flush)" if ".flush." in f.name else
+                                            "(stranded)" if ".stranded." in f.name else "")
+                    for f in pipe.fs.files)
+    print(f"\n{len(pipe.fs.files)} files on the parallel file system:")
+    for kind, count in sorted(kinds.items()):
+        print(f"  {kind:20s} x{count}")
+
+    sample = next(f for f in pipe.fs.files if f.name.startswith("helper.ts"))
+    print(f"\nProvenance on {sample.name}: {sample.attributes['provenance']} "
+          f"(incomplete_pipeline={sample.attributes['incomplete_pipeline']})")
+
+    from repro.postprocess import analysis_backlog
+
+    backlog = analysis_backlog(pipe.fs.files)
+    todo = [entry for entry in backlog if entry.remaining]
+    print(f"\nPost-processing backlog: {len(todo)} timesteps still need "
+          f"analysis; e.g. timestep {todo[0].timestep} needs "
+          f"{todo[0].remaining} (provenance was {todo[0].provenance}).")
+
+    print(f"\nApplication blocking avoided: driver blocked "
+          f"{pipe.driver.blocked_time:.2f}s out of a "
+          f"{workload.total_steps * workload.output_interval:.0f}s run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline editable installs (`python setup.py develop`).
+
+The environment has no network access and no `wheel` package, so PEP 660
+editable installs via pip fail; this shim lets `setup.py develop` work with
+the stock setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro: a reproduction of "I/O Containers: Managing the Data Analytics and
+Visualization Pipelines of High End Codes" (Dayal et al., IPDPS 2013).
+
+The package builds, from scratch, every system the paper's evaluation rests
+on -- a deterministic discrete-event simulation kernel, a Cray-like machine
+model, EVPath-style messaging and overlays, the DataTap/DataStager staged
+transport, an ADIOS-like I/O layer, a miniature LAMMPS with real crack
+physics, the SmartPointer analytics kernels -- and, on top of them, the
+paper's contribution: managed I/O containers with local/global managers,
+latency-driven resource trading, and offline fallback.
+
+Quickstart::
+
+    from repro import Environment, PipelineBuilder, WeakScalingWorkload
+
+    env = Environment()
+    workload = WeakScalingWorkload(sim_nodes=256, staging_nodes=13, total_steps=30)
+    pipe = PipelineBuilder(env, workload).build()
+    pipe.run()
+    print(pipe.global_manager.actions_taken)
+"""
+
+from repro.simkernel import Environment
+from repro.data import DataChunk
+from repro.cluster import BatchScheduler, Machine, franklin, redsky
+from repro.evpath import Message, MessageType, Messenger, OverlayTree
+from repro.datatap import DataTapLink, DataTapReader, DataTapWriter, PullScheduler
+from repro.adios import AdiosStream, Group, ParallelFileSystem, VarInfo, read_bp, write_bp
+from repro.lammps import (
+    CrackExperiment,
+    LammpsDriver,
+    MDSystem,
+    VelocityVerlet,
+    WeakScalingWorkload,
+)
+from repro.smartpointer import (
+    SMARTPOINTER_COMPONENTS,
+    SMARTPOINTER_COSTS,
+    bonds_adjacency,
+    central_symmetry,
+    common_neighbor_analysis,
+    helper_merge,
+)
+from repro.containers import (
+    Container,
+    GlobalManager,
+    LatencyPolicy,
+    LocalManager,
+    Pipeline,
+    PipelineBuilder,
+    StageConfig,
+)
+from repro.transactions import TransactionManager
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AdiosStream",
+    "BatchScheduler",
+    "Container",
+    "CrackExperiment",
+    "DataChunk",
+    "DataTapLink",
+    "DataTapReader",
+    "DataTapWriter",
+    "Environment",
+    "GlobalManager",
+    "Group",
+    "LammpsDriver",
+    "LatencyPolicy",
+    "LocalManager",
+    "MDSystem",
+    "Machine",
+    "Message",
+    "MessageType",
+    "Messenger",
+    "OverlayTree",
+    "ParallelFileSystem",
+    "Pipeline",
+    "PipelineBuilder",
+    "PullScheduler",
+    "SMARTPOINTER_COMPONENTS",
+    "SMARTPOINTER_COSTS",
+    "StageConfig",
+    "TransactionManager",
+    "VarInfo",
+    "VelocityVerlet",
+    "WeakScalingWorkload",
+    "bonds_adjacency",
+    "central_symmetry",
+    "common_neighbor_analysis",
+    "franklin",
+    "helper_merge",
+    "read_bp",
+    "redsky",
+    "write_bp",
+]

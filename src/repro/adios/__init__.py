@@ -1,0 +1,41 @@
+"""ADIOS-like I/O layer: declarative groups, swappable transport methods.
+
+The paper uses the ADIOS read/write interface to define component inputs and
+outputs, so components can swap I/O methods without code changes.  Two
+methods matter for the experiments:
+
+* :class:`DataTapMethod` — staging transport (the online path);
+* :class:`PosixMethod` — write to the parallel file system, with provenance
+  attributes attached (the path taken when a container is moved *offline*:
+  "each component replica in the upstream container has to switch its output
+  method within ADIOS to write to disk using the attribute system to mark
+  the provenance").
+
+A real on-disk serializer (:mod:`repro.adios.bp`, a BP-lite binary format
+for dicts of NumPy arrays plus attributes) backs the examples, while the
+simulated :class:`ParallelFileSystem` provides timing for in-simulation
+writes.
+"""
+
+from repro.adios.variable import AttributeSet, VarInfo
+from repro.adios.group import Group
+from repro.adios.filesystem import ParallelFileSystem
+from repro.adios.bp import read_bp, write_bp
+from repro.adios.read_api import BpSeries, BpStep
+from repro.adios.methods import DataTapMethod, PosixMethod, TransportMethod
+from repro.adios.api import AdiosStream
+
+__all__ = [
+    "AdiosStream",
+    "BpSeries",
+    "BpStep",
+    "AttributeSet",
+    "DataTapMethod",
+    "Group",
+    "ParallelFileSystem",
+    "PosixMethod",
+    "TransportMethod",
+    "VarInfo",
+    "read_bp",
+    "write_bp",
+]

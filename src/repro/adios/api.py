@@ -1,0 +1,51 @@
+"""The ADIOS-style streaming handle components write through."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.simkernel import Environment
+from repro.simkernel.errors import SimulationError
+from repro.data import DataChunk
+from repro.adios.group import Group
+from repro.adios.methods import TransportMethod
+
+
+class AdiosStream:
+    """A component's output handle: one group bound to a transport method.
+
+    The method can be swapped at runtime (``set_method``) — this is the hook
+    the offline protocol uses: when downstream containers are pruned, the
+    upstream replicas switch from the DataTap method to POSIX and keep
+    running, with provenance recorded in the attribute system.
+    """
+
+    def __init__(self, env: Environment, group: Group, method: TransportMethod,
+                 name: str = "stream"):
+        self.env = env
+        self.group = group
+        self.name = name
+        self._method = method
+        #: monitoring
+        self.chunks_out = 0
+        self.method_switches = 0
+
+    @property
+    def method(self) -> TransportMethod:
+        return self._method
+
+    def set_method(self, method: TransportMethod) -> TransportMethod:
+        """Swap the transport method; returns the previous one."""
+        previous, self._method = self._method, method
+        self.method_switches += 1
+        return previous
+
+    def write(self, chunk: DataChunk, attributes: Optional[Dict[str, Any]] = None):
+        """Write one timestep's chunk through the current method."""
+        if chunk.nbytes < 0:
+            raise SimulationError(f"chunk with negative size on stream {self.name!r}")
+        self.chunks_out += 1
+        merged = self.group.attributes.as_dict()
+        if attributes:
+            merged.update(attributes)
+        return self._method.write_chunk(chunk, merged)

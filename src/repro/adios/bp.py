@@ -1,0 +1,95 @@
+"""BP-lite: a real on-disk container for arrays + attributes.
+
+A deliberately small binary format in the spirit of ADIOS-BP: a magic header,
+a JSON metadata block (variable names, dtypes, shapes, byte offsets, and the
+attribute set), then the raw C-contiguous array payloads.  Round-trips dicts
+of NumPy arrays exactly; used by the examples to land analysis output on
+disk with provenance attributes, just as the offline path of the paper does.
+
+Layout::
+
+    bytes 0..7    magic  b"BPLITE1\\n"
+    bytes 8..15   little-endian uint64: header length H
+    bytes 16..16+H  UTF-8 JSON header
+    then          raw array bytes at the offsets recorded in the header
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Tuple, Union
+
+import numpy as np
+
+MAGIC = b"BPLITE1\n"
+
+
+def write_bp(
+    path: Union[str, Path],
+    variables: Dict[str, np.ndarray],
+    attributes: Dict[str, Any] | None = None,
+) -> int:
+    """Write arrays and attributes to ``path``; returns bytes written."""
+    path = Path(path)
+    arrays = {}
+    for name, value in variables.items():
+        array = np.ascontiguousarray(value)
+        if array.dtype == object:
+            raise TypeError(f"variable {name!r} has object dtype; only numeric arrays supported")
+        arrays[name] = array
+
+    entries = {}
+    offset = 0
+    for name, array in arrays.items():
+        entries[name] = {
+            "dtype": str(array.dtype),
+            "shape": list(array.shape),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+        }
+        offset += array.nbytes
+
+    header = json.dumps(
+        {"variables": entries, "attributes": attributes or {}},
+        separators=(",", ":"),
+        default=_json_default,
+    ).encode()
+
+    with path.open("wb") as fh:
+        fh.write(MAGIC)
+        fh.write(len(header).to_bytes(8, "little"))
+        fh.write(header)
+        for array in arrays.values():
+            fh.write(array.tobytes())
+    return len(MAGIC) + 8 + len(header) + offset
+
+
+def read_bp(path: Union[str, Path]) -> Tuple[Dict[str, np.ndarray], Dict[str, Any]]:
+    """Read a BP-lite file; returns (variables, attributes)."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise ValueError(f"{path}: not a BP-lite file (magic={magic!r})")
+        header_len = int.from_bytes(fh.read(8), "little")
+        header = json.loads(fh.read(header_len).decode())
+        base = fh.tell()
+        variables = {}
+        for name, entry in header["variables"].items():
+            fh.seek(base + entry["offset"])
+            raw = fh.read(entry["nbytes"])
+            if len(raw) != entry["nbytes"]:
+                raise ValueError(f"{path}: truncated payload for variable {name!r}")
+            variables[name] = np.frombuffer(raw, dtype=entry["dtype"]).reshape(entry["shape"]).copy()
+    return variables, header["attributes"]
+
+
+def _json_default(obj):
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"attribute value {obj!r} is not JSON-serializable")

@@ -1,0 +1,77 @@
+"""Transport methods: where an ADIOS write actually goes.
+
+Matching the paper's stack (Figure 2): the application speaks the ADIOS
+interface; a *method* binds that interface either to the DataTap staging
+transport (online path) or to POSIX writes on the parallel file system
+(offline path).  Methods are swappable at runtime — the offline protocol
+switches a component's output method mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.simkernel import Environment
+from repro.cluster.node import Node
+from repro.data import DataChunk
+from repro.datatap.writer import DataTapWriter
+from repro.adios.filesystem import ParallelFileSystem
+
+
+class TransportMethod:
+    """Interface: deliver one chunk somewhere."""
+
+    name = "abstract"
+
+    def write_chunk(self, chunk: DataChunk, attributes: Optional[Dict[str, Any]] = None):
+        """Returns a process/event that fires when the write completes
+        *from the producer's perspective* (async methods fire at buffering).
+        """
+        raise NotImplementedError
+
+
+class DataTapMethod(TransportMethod):
+    """Online path: asynchronous staged output through a DataTap writer."""
+
+    name = "DATATAP"
+
+    def __init__(self, writer: DataTapWriter):
+        self.writer = writer
+
+    def write_chunk(self, chunk: DataChunk, attributes=None):
+        return self.writer.write(chunk)
+
+
+class PosixMethod(TransportMethod):
+    """Offline path: synchronous-ish write to the parallel file system.
+
+    Attributes (provenance!) are attached to every file record.
+    """
+
+    name = "POSIX"
+
+    def __init__(self, env: Environment, fs: ParallelFileSystem, node: Node,
+                 prefix: str = "out"):
+        self.env = env
+        self.fs = fs
+        self.node = node
+        self.prefix = prefix
+
+    def write_chunk(self, chunk: DataChunk, attributes=None):
+        attrs = dict(attributes or {})
+        attrs.setdefault("provenance", list(chunk.provenance))
+        attrs.setdefault("timestep", chunk.timestep)
+        name = f"{self.prefix}.ts{chunk.timestep:06d}.bp"
+        return self.fs.write(self.node, name, chunk.nbytes, attrs)
+
+
+class NullMethod(TransportMethod):
+    """Discard output (for components whose sink is out of scope)."""
+
+    name = "NULL"
+
+    def __init__(self, env: Environment):
+        self.env = env
+
+    def write_chunk(self, chunk: DataChunk, attributes=None):
+        return self.env.timeout(0, value=chunk)

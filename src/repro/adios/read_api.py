@@ -1,0 +1,106 @@
+"""Reading back BP-lite series: the consumer half of the ADIOS interface.
+
+The offline path writes one BP-lite file per timestep; post-processing and
+visualization want to iterate them in order, select variables, and filter by
+provenance.  :class:`BpSeries` provides that read interface over a
+directory of ``<prefix>.ts<NNNN>.bp`` files.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adios.bp import read_bp
+
+_TS_RE = re.compile(r"\.ts(\d+)\.")
+
+
+@dataclass
+class BpStep:
+    """One timestep of a series."""
+
+    path: Path
+    timestep: int
+    variables: Dict[str, np.ndarray]
+    attributes: Dict[str, Any]
+
+
+class BpSeries:
+    """An ordered view over the BP-lite files of one output stream.
+
+    Parameters
+    ----------
+    directory:
+        Where the files live.
+    prefix:
+        Stream name: files matching ``<prefix>*.ts<NNNN>.bp`` are included.
+        None matches every .bp file with a timestep marker.
+    """
+
+    def __init__(self, directory, prefix: Optional[str] = None):
+        self.directory = Path(directory)
+        if not self.directory.is_dir():
+            raise FileNotFoundError(f"{self.directory} is not a directory")
+        self.prefix = prefix
+        self._index: List[Tuple[int, Path]] = []
+        pattern = f"{prefix}*.bp" if prefix else "*.bp"
+        for path in sorted(self.directory.glob(pattern)):
+            match = _TS_RE.search(path.name)
+            if match is None:
+                continue
+            self._index.append((int(match.group(1)), path))
+        self._index.sort()
+
+    # -- container protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def timesteps(self) -> List[int]:
+        return [ts for ts, _ in self._index]
+
+    def read(self, timestep: int, variables: Optional[Sequence[str]] = None) -> BpStep:
+        """Load one timestep, optionally restricted to named variables."""
+        for ts, path in self._index:
+            if ts == timestep:
+                data, attrs = read_bp(path)
+                if variables is not None:
+                    missing = set(variables) - set(data)
+                    if missing:
+                        raise KeyError(
+                            f"{path.name}: missing variables {sorted(missing)}"
+                        )
+                    data = {name: data[name] for name in variables}
+                return BpStep(path=path, timestep=ts, variables=data,
+                              attributes=attrs)
+        raise KeyError(f"timestep {timestep} not in series "
+                       f"(have {self.timesteps[:5]}...)")
+
+    def __iter__(self) -> Iterator[BpStep]:
+        for ts, _ in self._index:
+            yield self.read(ts)
+
+    def select(self, **attr_filters) -> Iterator[BpStep]:
+        """Iterate steps whose attributes match all given equalities.
+
+        Example: ``series.select(completed_offline=True)``; a provenance
+        filter may pass a list, matched exactly.
+        """
+        for step in self:
+            if all(step.attributes.get(k) == v for k, v in attr_filters.items()):
+                yield step
+
+    def variable_series(self, name: str) -> Tuple[List[int], List[np.ndarray]]:
+        """All timesteps' values of one variable (loads each file)."""
+        steps, values = [], []
+        for step in self:
+            if name in step.variables:
+                steps.append(step.timestep)
+                values.append(step.variables[name])
+        return steps, values

@@ -1,0 +1,101 @@
+"""Variable and attribute metadata for ADIOS groups."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+#: dtype name -> bytes per element, for size accounting without real payloads
+_DTYPE_SIZES = {
+    "float32": 4,
+    "float64": 8,
+    "int32": 4,
+    "int64": 8,
+    "uint8": 1,
+    "uint32": 4,
+    "uint64": 8,
+}
+
+
+@dataclass(frozen=True)
+class VarInfo:
+    """Declared metadata for one output variable.
+
+    ``dims`` uses symbolic sizes: an int is a fixed extent, a string names a
+    runtime dimension (e.g. ``"natoms"``) resolved against a binding dict
+    when sizing a timestep's output.
+    """
+
+    name: str
+    dtype: str
+    dims: Tuple = ()
+
+    def __post_init__(self):
+        if self.dtype not in _DTYPE_SIZES:
+            raise ValueError(f"unsupported dtype {self.dtype!r}")
+        for d in self.dims:
+            if not isinstance(d, (int, str)):
+                raise TypeError(f"dimension must be int or symbol, got {d!r}")
+            if isinstance(d, int) and d < 0:
+                raise ValueError(f"negative dimension {d}")
+
+    @property
+    def itemsize(self) -> int:
+        return _DTYPE_SIZES[self.dtype]
+
+    def nbytes(self, bindings: Optional[Dict[str, int]] = None) -> int:
+        """Byte size of one timestep of this variable."""
+        total = self.itemsize
+        for d in self.dims:
+            if isinstance(d, str):
+                if not bindings or d not in bindings:
+                    raise KeyError(f"unbound dimension {d!r} for variable {self.name!r}")
+                d = bindings[d]
+            total *= d
+        return total
+
+    def matches(self, array: np.ndarray, bindings: Optional[Dict[str, int]] = None) -> bool:
+        """Whether a concrete array conforms to this declaration."""
+        if str(array.dtype) != self.dtype:
+            return False
+        if len(array.shape) != len(self.dims):
+            return False
+        for actual, declared in zip(array.shape, self.dims):
+            if isinstance(declared, int) and actual != declared:
+                return False
+            if isinstance(declared, str) and bindings and declared in bindings:
+                if actual != bindings[declared]:
+                    return False
+        return True
+
+
+class AttributeSet:
+    """Ordered string-keyed attributes (ADIOS's attribute system).
+
+    Used to label offline-written data with its processing provenance.
+    """
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None):
+        self._attrs: Dict[str, Any] = dict(initial or {})
+
+    def set(self, key: str, value: Any) -> None:
+        if not isinstance(key, str) or not key:
+            raise ValueError("attribute keys must be non-empty strings")
+        self._attrs[key] = value
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._attrs.get(key, default)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self._attrs)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._attrs
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __repr__(self) -> str:
+        return f"<AttributeSet {self._attrs!r}>"

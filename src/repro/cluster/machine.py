@@ -1,0 +1,117 @@
+"""A machine = nodes + network, partitioned for an application run."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import networkx as nx
+
+from repro.simkernel import Environment
+from repro.simkernel.errors import SimulationError
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+
+
+class Partition:
+    """A named slice of a machine's nodes (e.g. "simulation", "staging")."""
+
+    def __init__(self, name: str, nodes: List[Node]):
+        self.name = name
+        self.nodes = list(nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def __getitem__(self, index):
+        return self.nodes[index]
+
+    def __repr__(self) -> str:
+        return f"<Partition {self.name!r} nodes={len(self.nodes)}>"
+
+
+def torus_3d(shape: Sequence[int]) -> nx.Graph:
+    """Build a 3-D torus topology graph (the XT4 / RedSky interconnect shape)."""
+    if len(shape) != 3 or any(s < 1 for s in shape):
+        raise ValueError(f"shape must be three positive dims, got {shape}")
+    graph = nx.grid_graph(dim=list(reversed(shape)), periodic=True)
+    # Relabel coordinate tuples to flat integer ids.
+    mapping = {coord: i for i, coord in enumerate(sorted(graph.nodes))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+class Machine:
+    """A collection of nodes joined by a network, with named partitions.
+
+    Parameters mirror what the paper's platforms expose: node count, cores
+    and memory per node, NIC bandwidth, and the interconnect topology.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        num_nodes: int,
+        cores_per_node: int = 4,
+        memory_per_node: float = 8 * 2**30,
+        nic_bandwidth: float = 1.6 * 2**30,
+        nic_streams: int = 1,
+        topology: Optional[nx.Graph] = None,
+        network_kwargs: Optional[dict] = None,
+        name: str = "machine",
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        if topology is not None and topology.number_of_nodes() < num_nodes:
+            raise ValueError(
+                f"topology has {topology.number_of_nodes()} nodes < num_nodes={num_nodes}"
+            )
+        self.env = env
+        self.name = name
+        self.nodes: List[Node] = [
+            Node(
+                env,
+                node_id=i,
+                cores=cores_per_node,
+                memory_bytes=memory_per_node,
+                nic_bandwidth=nic_bandwidth,
+                nic_streams=nic_streams,
+            )
+            for i in range(num_nodes)
+        ]
+        self.network = Network(env, topology=topology, **(network_kwargs or {}))
+        self._partitions: Dict[str, Partition] = {}
+        self._next_free = 0
+
+    # -- partitioning ---------------------------------------------------------------
+
+    def partition(self, name: str, count: int) -> Partition:
+        """Carve the next ``count`` unassigned nodes into a named partition.
+
+        Mirrors the batch-scheduler reality the paper describes: the user
+        gets one allocation and must split it between simulation and staging
+        up front.
+        """
+        if name in self._partitions:
+            raise SimulationError(f"partition {name!r} already exists")
+        if self._next_free + count > len(self.nodes):
+            raise SimulationError(
+                f"cannot allocate {count} nodes for {name!r}: only "
+                f"{len(self.nodes) - self._next_free} remain"
+            )
+        nodes = self.nodes[self._next_free : self._next_free + count]
+        self._next_free += count
+        part = Partition(name, nodes)
+        self._partitions[name] = part
+        return part
+
+    def get_partition(self, name: str) -> Partition:
+        return self._partitions[name]
+
+    @property
+    def unallocated(self) -> int:
+        return len(self.nodes) - self._next_free
+
+    def __repr__(self) -> str:
+        return f"<Machine {self.name!r} nodes={len(self.nodes)}>"

@@ -1,0 +1,160 @@
+"""Interconnect model: topology hops + NIC contention.
+
+Model
+-----
+A transfer of ``n`` bytes from node *a* to node *b* takes
+
+    ``software_overhead + base_latency + hops(a, b) * hop_latency
+      + n / min(bw_a, bw_b)``
+
+where the serialization term only starts once the transfer holds one send
+channel on *a*'s NIC and one receive channel on *b*'s NIC.  Channel slots are
+the contention points; the torus core is assumed over-provisioned relative to
+injection bandwidth (true of the XT4 SeaStar for the message sizes here).
+
+Hop counts come from shortest paths on a networkx topology graph and are
+cached; a 3-D torus of a few thousand nodes stays cheap because we only
+compute distances lazily per (src, dst) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import networkx as nx
+
+from repro.simkernel import Environment
+from repro.cluster.node import Node
+
+
+@dataclass
+class TransferStats:
+    """Aggregate transfer accounting for a :class:`Network` (monitoring)."""
+
+    messages: int = 0
+    bytes: float = 0.0
+    busy_time: float = 0.0
+    wait_time: float = 0.0
+    per_pair: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record(self, src: int, dst: int, nbytes: float, busy: float, waited: float) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+        self.busy_time += busy
+        self.wait_time += waited
+        key = (src, dst)
+        self.per_pair[key] = self.per_pair.get(key, 0) + 1
+
+
+class Network:
+    """Point-to-point transfers over a topology graph.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    topology:
+        networkx graph whose nodes are node ids.  ``None`` means a "flat"
+        network (every pair is 1 hop).
+    base_latency:
+        Fixed wire latency per message, seconds.
+    hop_latency:
+        Additional latency per topology hop, seconds.
+    software_overhead:
+        Per-message CPU/software cost (matching, completion), seconds.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Optional[nx.Graph] = None,
+        base_latency: float = 5e-6,
+        hop_latency: float = 1e-7,
+        software_overhead: float = 10e-6,
+    ):
+        self.env = env
+        self.topology = topology
+        self.base_latency = base_latency
+        self.hop_latency = hop_latency
+        self.software_overhead = software_overhead
+        self.stats = TransferStats()
+        self._hops_cache: Dict[Tuple[int, int], int] = {}
+
+    # -- path metrics -------------------------------------------------------------
+
+    def hops(self, src_id: int, dst_id: int) -> int:
+        """Topology hop count between two node ids (1 for a flat network)."""
+        if src_id == dst_id:
+            return 0
+        if self.topology is None:
+            return 1
+        key = (src_id, dst_id) if src_id < dst_id else (dst_id, src_id)
+        cached = self._hops_cache.get(key)
+        if cached is None:
+            cached = nx.shortest_path_length(self.topology, key[0], key[1])
+            self._hops_cache[key] = cached
+        return cached
+
+    def latency(self, src: Node, dst: Node) -> float:
+        """One-way message latency excluding serialization and queueing."""
+        return (
+            self.software_overhead
+            + self.base_latency
+            + self.hops(src.node_id, dst.node_id) * self.hop_latency
+        )
+
+    def ideal_transfer_time(self, src: Node, dst: Node, nbytes: float) -> float:
+        """Contention-free duration of a transfer (for planning/scheduling)."""
+        if src is dst:
+            return self.software_overhead
+        rate = min(src.nic.bandwidth, dst.nic.bandwidth)
+        return self.latency(src, dst) + nbytes / rate
+
+    # -- transfers ------------------------------------------------------------------
+
+    def transfer(self, src: Node, dst: Node, nbytes: float):
+        """Start a transfer; returns a process event that fires on completion."""
+        return self.env.process(
+            self._transfer(src, dst, nbytes), name=f"xfer {src.node_id}->{dst.node_id}"
+        )
+
+    def _transfer(self, src: Node, dst: Node, nbytes: float):
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size {nbytes}")
+        if src is dst:
+            # Intra-node move: software overhead only.
+            yield self.env.timeout(self.software_overhead)
+            return nbytes
+
+        start = self.env.now
+        send_req = src.nic.send_channel.request()
+        recv_req = dst.nic.recv_channel.request()
+        yield send_req & recv_req
+        waited = self.env.now - start
+        try:
+            duration = self.ideal_transfer_time(src, dst, nbytes)
+            yield self.env.timeout(duration)
+        finally:
+            src.nic.send_channel.release(send_req)
+            dst.nic.recv_channel.release(recv_req)
+        src.nic.bytes_sent += nbytes
+        dst.nic.bytes_received += nbytes
+        self.stats.record(src.node_id, dst.node_id, nbytes, duration, waited)
+        return nbytes
+
+    def rdma_get(self, reader: Node, target: Node, nbytes: float):
+        """Reader-initiated pull (RDMA GET), as used by DataTap/DataStager.
+
+        Costs one extra control-message latency for the request, then the
+        data flows target → reader.
+        """
+        return self.env.process(
+            self._rdma_get(reader, target, nbytes),
+            name=f"rdma {target.node_id}->{reader.node_id}",
+        )
+
+    def _rdma_get(self, reader: Node, target: Node, nbytes: float):
+        yield self.env.timeout(self.latency(reader, target))  # GET request
+        result = yield self.transfer(target, reader, nbytes)
+        return result

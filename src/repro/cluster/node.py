@@ -1,0 +1,119 @@
+"""Compute nodes and their network interfaces."""
+
+from __future__ import annotations
+
+from repro.simkernel import Environment, Resource
+from repro.simkernel.errors import SimulationError
+
+
+class Nic:
+    """A network interface with finite injection/ejection bandwidth.
+
+    Bandwidth is shared by acquiring one of ``max_streams`` channel slots per
+    direction; each active stream gets the full serialization rate, so with
+    ``max_streams=1`` concurrent transfers queue (FIFO) rather than
+    subdividing bandwidth.  This models the DMA-engine serialization seen on
+    Portals/SeaStar NICs, and is the contention point the DataStager pull
+    scheduler (Section III-C of the paper) exists to manage.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        max_streams: int = 1,
+    ):
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self.env = env
+        #: bytes per second
+        self.bandwidth = float(bandwidth)
+        self.send_channel = Resource(env, capacity=max_streams)
+        self.recv_channel = Resource(env, capacity=max_streams)
+        #: total bytes injected / ejected (monitoring)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+
+class Node:
+    """A compute node: cores, memory and a NIC.
+
+    Memory is tracked explicitly (reserve/free) rather than as a blocking
+    resource because the paper's staging buffers fail fast when they exceed
+    node memory rather than waiting for it.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_id: int,
+        cores: int = 4,
+        memory_bytes: float = 8 * 2**30,
+        nic_bandwidth: float = 1.6 * 2**30,
+        nic_streams: int = 1,
+    ):
+        if cores <= 0:
+            raise ValueError(f"cores must be positive, got {cores}")
+        self.env = env
+        self.node_id = node_id
+        self.num_cores = cores
+        self.cores = Resource(env, capacity=cores)
+        self.memory_bytes = float(memory_bytes)
+        self._memory_used = 0.0
+        self.nic = Nic(env, nic_bandwidth, nic_streams)
+
+    # -- memory -----------------------------------------------------------------
+
+    @property
+    def memory_used(self) -> float:
+        return self._memory_used
+
+    @property
+    def memory_free(self) -> float:
+        return self.memory_bytes - self._memory_used
+
+    def reserve_memory(self, nbytes: float) -> None:
+        """Claim ``nbytes``; raises if the node would exceed physical memory."""
+        if nbytes < 0:
+            raise ValueError("cannot reserve negative memory")
+        if self._memory_used + nbytes > self.memory_bytes:
+            raise SimulationError(
+                f"node {self.node_id}: out of memory "
+                f"(used={self._memory_used:.0f}, request={nbytes:.0f}, "
+                f"total={self.memory_bytes:.0f})"
+            )
+        self._memory_used += nbytes
+
+    def free_memory(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot free negative memory")
+        # Tolerate float round-off from many reserve/free cycles.
+        if nbytes > self._memory_used * (1 + 1e-9) + 1e-6:
+            raise SimulationError(
+                f"node {self.node_id}: freeing {nbytes:.0f} > used {self._memory_used:.0f}"
+            )
+        self._memory_used = max(0.0, self._memory_used - nbytes)
+
+    def compute(self, seconds: float, cores: int = 1):
+        """A process that occupies ``cores`` cores for ``seconds``.
+
+        Yields from inside a generator: ``yield env.process(node.compute(t))``.
+        """
+        if cores > self.num_cores:
+            raise SimulationError(
+                f"node {self.node_id}: requested {cores} cores, has {self.num_cores}"
+            )
+        return self.env.process(self._compute(seconds, cores), name=f"compute@{self.node_id}")
+
+    def _compute(self, seconds: float, cores: int):
+        requests = [self.cores.request() for _ in range(cores)]
+        for req in requests:
+            yield req
+        try:
+            yield self.env.timeout(seconds)
+        finally:
+            for req in requests:
+                self.cores.release(req)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.node_id} cores={self.num_cores}>"

@@ -1,0 +1,361 @@
+"""The container: a managed execution environment for one component."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.simkernel import Environment
+from repro.simkernel.errors import SimulationError
+from repro.cluster.node import Node
+from repro.data import DataChunk
+from repro.datatap.link import DataTapLink
+from repro.datatap.scheduling import PullScheduler
+from repro.evpath.channel import Messenger
+from repro.adios.filesystem import ParallelFileSystem
+from repro.monitoring.metrics import LatencyWindow
+from repro.smartpointer.component import ComponentSpec
+from repro.smartpointer.costs import ComputeModel
+
+
+class Container:
+    """Replicas + links + accounting for one analysis component.
+
+    The container itself is mechanism, not policy: it can grow, shrink, go
+    offline, and report metrics; *when* to do those things is decided by the
+    managers (see :mod:`repro.containers.local_manager` and
+    :mod:`repro.containers.global_manager`).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        spec: ComponentSpec,
+        model: ComputeModel,
+        input_link: Optional[DataTapLink],
+        output_link: Optional[DataTapLink] = None,
+        name: Optional[str] = None,
+        output_links: Optional[List[DataTapLink]] = None,
+        queue_capacity: int = 8,
+        queue_overflow: str = "block",
+        gather_count: int = 1,
+        pull_scheduler: Optional[PullScheduler] = None,
+        sink_fs: Optional[ParallelFileSystem] = None,
+        active: bool = True,
+        natoms_hint: int = 0,
+        essential: Optional[bool] = None,
+        writer_buffer_bytes: Optional[float] = None,
+        sla_factor: float = 1.0,
+    ):
+        if model not in spec.compute_models:
+            raise SimulationError(
+                f"component {spec.name!r} does not support compute model {model}"
+            )
+        if gather_count > 1 and model is not ComputeModel.TREE:
+            raise SimulationError("gathering requires the TREE compute model")
+        self.env = env
+        self.messenger = messenger
+        self.spec = spec
+        self.model = model
+        self.name = name or spec.name
+        self.input_link = input_link
+        if output_links is not None and output_link is not None:
+            raise SimulationError("pass output_link or output_links, not both")
+        #: every downstream consumer stage reads through its own link, so
+        #: multiple consumers (e.g. CSym plus an interactively launched viz)
+        #: each see the full output stream rather than splitting it.
+        self.output_links: List[DataTapLink] = (
+            list(output_links) if output_links is not None
+            else ([output_link] if output_link is not None else [])
+        )
+        self.queue_capacity = queue_capacity
+        self.queue_overflow = queue_overflow
+        self.gather_count = gather_count
+        self.pull_scheduler = pull_scheduler
+        self.sink_fs = sink_fs
+        self.active = active
+        self.natoms_hint = natoms_hint
+        self.essential = spec.essential if essential is None else essential
+        #: cap on each replica writer's staging buffer (None = node default)
+        self.writer_buffer_bytes = writer_buffer_bytes
+        if sla_factor <= 0:
+            raise ValueError("sla_factor must be positive")
+        #: per-container SLA scale (Section III-A: a checkpointing container
+        #: "need not complete ... until the next timestep arrives" — factor
+        #: 1.0 — whereas crack discovery "should complete with low latency"
+        #: — factor < 1).  Managers size and alarm against
+        #: ``sla_interval * sla_factor``.
+        self.sla_factor = sla_factor
+
+        from repro.containers.replica import Replica  # circular at import time
+
+        self._replica_cls = Replica
+        self.replicas: List = []
+        #: nodes held by a standby (not yet activated) container
+        self.standby_nodes: List[Node] = []
+        self._next_replica = 0
+        self.offline = False
+        #: TREE and PARALLEL components are one logical entity: data enters
+        #: and leaves through the head node; member nodes only add capacity.
+        self.head_only_io = model in (ComputeModel.TREE, ComputeModel.PARALLEL)
+
+        #: process every k-th timestep; the rest are skipped (the paper's
+        #: "lower the output frequency of one [container] to free up I/O
+        #: bandwidth for others")
+        self.stride = 1
+        #: attach content hashes to emitted chunks for soft-error detection
+        #: (the paper's "add hashes of the data to the output")
+        self.hashing = False
+        self.skipped = 0
+        self.latency = LatencyWindow(maxlen=8)
+        self.completions = 0
+        #: samples of (time, total queued chunks) for overflow prediction
+        self.queue_samples: List = []
+        #: called after each completed chunk: f(container, in_chunk, out_chunk)
+        self.on_complete: Optional[Callable] = None
+
+    @property
+    def output_link(self) -> Optional[DataTapLink]:
+        """Primary (first) output link, for single-consumer pipelines."""
+        return self.output_links[0] if self.output_links else None
+
+    # -- sizing ------------------------------------------------------------------
+
+    @property
+    def units(self) -> int:
+        """Allocated node count (= replica count for all current models)."""
+        return len(self.replicas)
+
+    def service_time(self, chunk: DataChunk) -> float:
+        natoms = chunk.natoms or self.natoms_hint
+        units = max(1, self.units)
+        return self.spec.cost.service_time(natoms, units, self.model)
+
+    def sustainable_interval(self) -> float:
+        """Smallest inter-arrival interval this container can sustain."""
+        natoms = self.natoms_hint
+        units = max(1, self.units)
+        return 1.0 / self.spec.cost.throughput(natoms, units, self.model)
+
+    # -- replica lifecycle ----------------------------------------------------------
+
+    def add_replica(self, node: Node):
+        passive = self.head_only_io and bool(self.replicas)
+        replica = self._replica_cls(
+            self.env, self.messenger, node, self, self._next_replica, passive=passive
+        )
+        self._next_replica += 1
+        self.replicas.append(replica)
+        return replica
+
+    def attach_output_link(self, link) -> None:
+        """Add a downstream consumer link mid-run.
+
+        Used when a new consumer (e.g. an interactively launched
+        visualization container) starts reading this stage's output: the
+        active replicas get DataTap writers wired into the new link, and
+        subsequent emissions stream a copy through it.
+        """
+        from repro.datatap.writer import DataTapWriter
+
+        if any(l.name == link.name for l in self.output_links):
+            raise SimulationError(
+                f"container {self.name!r} already feeds link {link.name!r}"
+            )
+        self.output_links.append(link)
+        for replica in self.replicas:
+            if replica.passive:
+                continue
+            writer = DataTapWriter(
+                self.env, self.messenger, replica.node,
+                buffer=self._make_buffer(replica.node, link.name),
+                name=f"{replica.name}.w.{link.name}",
+            )
+            replica.writers[link.name] = writer
+            link.add_writer(writer)
+
+    def _make_buffer(self, node, label: str):
+        """Writer buffer honoring the configured capacity cap, if any."""
+        if self.writer_buffer_bytes is None:
+            return None
+        from repro.datatap.buffer import StagingBuffer
+
+        return StagingBuffer(
+            self.env, node, capacity_bytes=self.writer_buffer_bytes,
+            name=f"{self.name}.{label}.buf",
+        )
+
+    def remove_replicas(self, count: int, allow_teardown: bool = False) -> List[Node]:
+        """Tear down ``count`` replicas; upstream writers must be paused.
+
+        Unprocessed queue contents are re-dispatched to surviving replicas
+        so no timestep is lost.  Returns the freed nodes.
+
+        ``allow_teardown`` permits removing *every* replica of a TREE /
+        PARALLEL component — only the MPI relaunch path (which immediately
+        respawns at a larger size) and the offline protocol may do that.
+        """
+        if count <= 0 or count > len(self.replicas):
+            raise SimulationError(
+                f"container {self.name!r}: cannot remove {count} of {len(self.replicas)}"
+            )
+        if self.head_only_io and count >= len(self.replicas) and not allow_teardown:
+            raise SimulationError(
+                f"container {self.name!r}: decreasing a {self.model.value} component "
+                f"to zero requires the offline protocol"
+            )
+        departing = self.replicas[-count:]
+        self.replicas = self.replicas[: len(self.replicas) - count]
+        freed: List[Node] = []
+        stranded: List[DataChunk] = []
+        for replica in departing:
+            if self.input_link is not None and replica.reader is not None:
+                self.input_link.remove_reader(replica.reader)
+            stranded.extend(replica.drain_queue())
+            replica.retire()
+            freed.append(replica.node)
+        if stranded:
+            if not self.replicas:
+                raise SimulationError(
+                    f"container {self.name!r}: teardown strands {len(stranded)} chunks"
+                )
+            for i, chunk in enumerate(stranded):
+                target = self.replicas[i % len(self.replicas)]
+                # Local staging-area move: pay a transfer, then enqueue.
+                self.env.process(
+                    self._redispatch(chunk, departing[0].node, target),
+                    name=f"redispatch:{self.name}",
+                )
+        return freed
+
+    def _redispatch(self, chunk: DataChunk, from_node: Node, target) -> None:
+        yield self.messenger.network.transfer(from_node, target.node, chunk.nbytes)
+        yield target.queue.put(chunk)
+
+    # -- data plane --------------------------------------------------------------------
+
+    def emit(self, chunk: DataChunk, replica):
+        """Forward a processed chunk downstream.
+
+        Every output link with live readers receives the chunk (each
+        consumer stage sees the full stream); if no consumer is reachable,
+        the chunk goes to disk with provenance instead.
+        """
+        chunk.entered_stage_at = self.env.now
+        targets = [link for link in self.output_links if link.readers]
+        if targets:
+            return self._emit_links(chunk, replica, targets)
+        return self._emit_disk(chunk, replica)
+
+    def offline_downstream(self) -> bool:
+        """True when no downstream link has readers (pruned pipeline)."""
+        return bool(self.output_links) and not any(
+            link.readers for link in self.output_links
+        )
+
+    def _emit_links(self, chunk: DataChunk, replica, targets):
+        def gen():
+            writes = [replica.writers[link.name].write(chunk) for link in targets]
+            yield self.env.all_of(writes)
+        return gen()
+
+    def _emit_disk(self, chunk: DataChunk, replica):
+        def gen():
+            if self.sink_fs is None:
+                yield self.env.timeout(0)
+                return
+            attrs = {
+                "provenance": list(chunk.provenance),
+                "timestep": chunk.timestep,
+                "incomplete_pipeline": self.output_link is not None,
+            }
+            yield self.sink_fs.write(
+                replica.node,
+                f"{self.name}.ts{chunk.timestep:06d}.bp",
+                chunk.nbytes,
+                attrs,
+            )
+        return gen()
+
+    def record_completion(self, in_chunk: DataChunk, out_chunk: DataChunk,
+                          latency: float, replica) -> None:
+        self.latency.observe(self.env.now, latency)
+        self.completions += 1
+        if self.on_complete is not None:
+            self.on_complete(self, in_chunk, out_chunk)
+
+    # -- metrics -------------------------------------------------------------------------
+
+    @property
+    def total_queued(self) -> int:
+        queued = sum(r.queue.size for r in self.replicas if not r.passive)
+        if self.input_link is not None:
+            # Metadata waiting at reader endpoints counts as queued input.
+            queued += sum(
+                r.reader.endpoint.pending for r in self.replicas if r.reader is not None
+            )
+        return queued
+
+    def upstream_backlog_bytes(self) -> float:
+        """Bytes parked in upstream writer buffers destined for this stage."""
+        if self.input_link is None:
+            return 0.0
+        return sum(w.buffer.used_bytes for w in self.input_link.writers)
+
+    def upstream_buffer_occupancy(self) -> float:
+        """Max occupancy fraction across upstream writer buffers."""
+        if self.input_link is None or not self.input_link.writers:
+            return 0.0
+        return max(w.buffer.occupancy for w in self.input_link.writers)
+
+    def oldest_input_entry(self) -> Optional[float]:
+        """Earliest stage-entry time among unfinished inputs.
+
+        Scans replica queues, gather buffers, in-service chunks, and chunks
+        parked in upstream writer buffers.  ``now - oldest_input_entry()`` is
+        a live latency estimate for stages that have not completed anything
+        yet — essential for spotting a bottleneck whose service time exceeds
+        the monitoring period.
+        """
+        oldest: Optional[float] = None
+
+        def consider(value: Optional[float]):
+            nonlocal oldest
+            if value is not None and (oldest is None or value < oldest):
+                oldest = value
+
+        for replica in self.replicas:
+            if replica.passive:
+                continue
+            for chunk in replica.queue.items:
+                consider(chunk.entered_stage_at)
+            for fragments in replica._gather.values():
+                for chunk in fragments:
+                    consider(chunk.entered_stage_at)
+            if replica.current_chunk is not None:
+                consider(replica.current_chunk.entered_stage_at)
+        if self.input_link is not None:
+            for writer in self.input_link.writers:
+                for chunk in writer.buffer._chunks.values():
+                    consider(chunk.entered_stage_at)
+        return oldest
+
+    def latency_estimate(self) -> Optional[float]:
+        """Best available latency figure: completed mean or live input age."""
+        mean = self.latency.mean()
+        oldest = self.oldest_input_entry()
+        age = None if oldest is None else self.env.now - oldest
+        if mean is None:
+            return age
+        if age is None:
+            return mean
+        return max(mean, age)
+
+    def sample_queues(self) -> None:
+        self.queue_samples.append((self.env.now, float(self.total_queued)))
+        if len(self.queue_samples) > 64:
+            del self.queue_samples[0]
+
+    def __repr__(self) -> str:
+        state = "offline" if self.offline else ("active" if self.active else "standby")
+        return f"<Container {self.name!r} {state} units={self.units}>"

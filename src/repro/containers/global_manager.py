@@ -1,0 +1,374 @@
+"""The global manager: pipeline-wide properties and control.
+
+Maintains the dependency configuration, receives metric reports from the
+local managers, runs the management policy on a control period, and executes
+the resulting actions as message protocols against the local managers.
+Resource trades can optionally be wrapped in D2T control transactions (the
+resilient path evaluated in Figure 6), guaranteeing that a node removed from
+a donor is either delivered to the recipient or returned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.simkernel import Environment, Interrupt
+from repro.simkernel.errors import SimulationError
+from repro.cluster.node import Node
+from repro.cluster.scheduler import BatchScheduler
+from repro.containers.local_manager import LocalManager
+from repro.containers.policy import (
+    ContainerState,
+    Increase,
+    LatencyPolicy,
+    ManagementPolicy,
+    Offline,
+    Steal,
+)
+from repro.containers.protocol import ProtocolTracer
+from repro.evpath.channel import Messenger
+from repro.evpath.messages import Message, MessageType
+from repro.monitoring.metrics import Telemetry
+
+
+class GlobalManager:
+    """Hierarchy root: one per pipeline."""
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        node: Node,
+        scheduler: BatchScheduler,
+        sla_interval: float,
+        policy: Optional[ManagementPolicy] = None,
+        tracer: Optional[ProtocolTracer] = None,
+        telemetry: Optional[Telemetry] = None,
+        control_interval: float = 30.0,
+        overflow_horizon: float = 120.0,
+        transaction_manager=None,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.node = node
+        self.scheduler = scheduler
+        self.sla_interval = sla_interval
+        self.policy = policy or LatencyPolicy()
+        self.tracer = tracer or ProtocolTracer()
+        self.telemetry = telemetry or Telemetry()
+        self.control_interval = control_interval
+        self.overflow_horizon = overflow_horizon
+        self.transaction_manager = transaction_manager
+
+        self.endpoint = messenger.endpoint(node, "global-mgr")
+        self.locals: Dict[str, LocalManager] = {}
+        #: upstream -> downstream dependency edges (the "configuration file")
+        self.dependencies = nx.DiGraph()
+        self._reports: Dict[str, dict] = {}
+        self._occupancy_hist: Dict[str, List] = {}
+        self._queue_hist: Dict[str, List] = {}
+        self.actions_taken: List[str] = []
+        self._recv_proc = env.process(self._recv_loop(), name="gm-recv")
+        self._control_proc = env.process(self._control_loop(), name="gm-control")
+        self._stopped = False
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(self, manager: LocalManager, depends_on: Optional[str] = None) -> None:
+        name = manager.container.name
+        if name in self.locals:
+            raise SimulationError(f"container {name!r} already registered")
+        self.locals[name] = manager
+        self.dependencies.add_node(name)
+        if depends_on is not None:
+            if depends_on not in self.locals:
+                raise SimulationError(f"unknown upstream container {depends_on!r}")
+            self.dependencies.add_edge(depends_on, name)
+
+    def dependents_of(self, name: str) -> List[str]:
+        """All containers downstream of ``name`` (must go offline with it)."""
+        return list(nx.descendants(self.dependencies, name))
+
+    def upstream_of(self, name: str) -> List[str]:
+        return list(self.dependencies.predecessors(name))
+
+    # -- message handling ----------------------------------------------------------------
+
+    def _recv_loop(self):
+        while True:
+            try:
+                msg = yield self.endpoint.recv(MessageType.METRIC_REPORT)
+            except Interrupt:
+                return
+            self.ingest_report(msg.payload)
+
+    def ingest_report(self, report: dict) -> None:
+        """Record one metric report (from a direct message or an overlay)."""
+        name = report["container"]
+        self._reports[name] = report
+        occ = self._occupancy_hist.setdefault(name, [])
+        occ.append((report["time"], report["buffer_occupancy"]))
+        del occ[:-16]
+        qh = self._queue_hist.setdefault(name, [])
+        qh.append((report["time"], float(report["queued"])))
+        del qh[:-16]
+
+    # -- control loop ------------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, ContainerState]:
+        states = {}
+        for name, manager in self.locals.items():
+            container = manager.container
+            report = self._reports.get(name, {})
+            states[name] = ContainerState(
+                name=name,
+                units=container.units,
+                latency_mean=report.get("latency_mean"),
+                latency_est=report.get("latency_est"),
+                queued=report.get("queued", 0),
+                queue_samples=tuple(self._queue_hist.get(name, ())),
+                occupancy_samples=tuple(self._occupancy_hist.get(name, ())),
+                buffer_occupancy=report.get("buffer_occupancy", 0.0),
+                # Prefer the local manager's own sizing figures (it knows
+                # its component's cost model); fall back to asking directly.
+                shortfall=report.get("shortfall", manager.shortfall(self.sla_interval)),
+                headroom=report.get("headroom", manager.headroom(self.sla_interval)),
+                essential=container.essential,
+                offline=container.offline,
+                active=container.active,
+                sla_factor=container.sla_factor,
+            )
+        return states
+
+    def _control_loop(self):
+        while True:
+            try:
+                yield self.env.timeout(self.control_interval)
+            except Interrupt:
+                return
+            if self._stopped:
+                return
+            states = self.snapshot()
+            actions = self.policy.decide(
+                states,
+                spare_nodes=self.scheduler.free_nodes,
+                sla_interval=self.sla_interval,
+                now=self.env.now,
+                horizon=self.overflow_horizon,
+            )
+            for action in actions:
+                if isinstance(action, Increase):
+                    yield self.increase(action.container, action.count)
+                elif isinstance(action, Steal):
+                    yield self.steal(action.donor, action.recipient, action.count)
+                elif isinstance(action, Offline):
+                    yield self.take_offline(action.container)
+
+    # -- operations ---------------------------------------------------------------------------
+
+    def increase(self, name: str, count: int, nodes: Optional[List[Node]] = None):
+        """Process: grow ``name`` by ``count`` nodes (from spares or given)."""
+        return self.env.process(self._increase(name, count, nodes), name=f"gm-incr:{name}")
+
+    def _increase(self, name: str, count: int, nodes: Optional[List[Node]] = None):
+        manager = self._manager(name)
+        if nodes is None:
+            if count > self.scheduler.free_nodes:
+                raise SimulationError(
+                    f"increase {name!r} by {count}: only {self.scheduler.free_nodes} spare"
+                )
+            job = self.scheduler.allocate(count, name=f"incr:{name}")
+            nodes = job.nodes
+        request = Message(
+            MessageType.INCREASE_REQUEST,
+            sender="global-mgr",
+            payload={"nodes": nodes},
+        )
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        self.actions_taken.append(f"increase {name} +{len(nodes)}")
+        return reply.payload
+
+    def decrease(self, name: str, count: int):
+        """Process: shrink ``name`` by ``count`` nodes; value is the freed nodes."""
+        return self.env.process(self._decrease(name, count), name=f"gm-decr:{name}")
+
+    def _decrease(self, name: str, count: int):
+        manager = self._manager(name)
+        request = Message(
+            MessageType.DECREASE_REQUEST,
+            sender="global-mgr",
+            payload={"count": count},
+        )
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        self.actions_taken.append(f"decrease {name} -{count}")
+        return reply.payload["nodes"]
+
+    def steal(self, donor: str, recipient: str, count: int):
+        """Process: move ``count`` nodes donor -> recipient.
+
+        With a transaction manager attached, the trade runs under a D2T
+        control transaction; on any participant failure the transaction
+        aborts and the freed nodes return to the spare pool rather than
+        being lost (the consistency guarantee of Section III-A item 5).
+        """
+        return self.env.process(self._steal(donor, recipient, count), name="gm-steal")
+
+    def _steal(self, donor: str, recipient: str, count: int):
+        if self.transaction_manager is not None:
+            outcome = yield self.transaction_manager.run_trade(
+                self, donor, recipient, count
+            )
+            return outcome
+        freed = yield self.decrease(donor, count)
+        if freed:
+            yield self.increase(recipient, len(freed), nodes=freed)
+        self.actions_taken.append(f"steal {donor}->{recipient} x{len(freed)}")
+        return freed
+
+    def take_offline(self, name: str):
+        """Process: offline ``name`` and every downstream dependent.
+
+        After the affected containers are down, their upstream (still
+        online) containers flush buffered chunks to disk and future output
+        goes to the file system with provenance attributes.
+        """
+        return self.env.process(self._take_offline(name), name=f"gm-offline:{name}")
+
+    def _take_offline(self, name: str):
+        affected = [name] + self.dependents_of(name)
+        # Downstream-last order so each teardown strands as little as possible.
+        order = [c for c in nx.topological_sort(self.dependencies) if c in affected]
+        for cname in reversed(order):
+            manager = self._manager(cname)
+            if manager.container.offline:
+                continue
+            request = Message(
+                MessageType.OFFLINE_REQUEST, sender="global-mgr", payload={}
+            )
+            reply = yield self.messenger.request(
+                self.node, self.endpoint, manager.endpoint.name, request
+            )
+            for node in reply.payload["nodes"]:
+                self.scheduler._free.append(node)
+            self.actions_taken.append(f"offline {cname}")
+        # Flush: chunks buffered in the writers feeding each pruned stage
+        # will never be pulled; write them to disk with their provenance.
+        # (This covers both the live upstream's writers — e.g. Helper's when
+        # Bonds goes down — and the pruned stages' own inter-stage writers.)
+        for cname in affected:
+            pruned = self._manager(cname).container
+            if pruned.input_link is None:
+                continue
+            for writer in pruned.input_link.writers:
+                for chunk in writer.drain_buffer():
+                    if pruned.sink_fs is not None:
+                        yield pruned.sink_fs.write(
+                            writer.node,
+                            f"{writer.name}.flush.ts{chunk.timestep:06d}.bp",
+                            chunk.nbytes,
+                            {
+                                "provenance": list(chunk.provenance),
+                                "timestep": chunk.timestep,
+                                "incomplete_pipeline": True,
+                            },
+                        )
+        self.telemetry.mark(self.env.now, f"offline cascade from {name}")
+        return affected
+
+    def set_stride(self, name: str, stride: int):
+        """Process: ask a container to process only every ``stride``-th
+        timestep; value is True when the local manager accepted."""
+        return self.env.process(self._set_stride(name, stride), name=f"gm-stride:{name}")
+
+    def _set_stride(self, name: str, stride: int):
+        manager = self._manager(name)
+        request = Message(
+            MessageType.SET_STRIDE, sender="global-mgr", payload={"stride": stride}
+        )
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        accepted = reply.mtype is MessageType.ACK
+        if accepted:
+            self.actions_taken.append(f"stride {name} 1/{stride}")
+        return accepted
+
+    def set_hashing(self, name: str, enabled: bool = True):
+        """Process: toggle output hashing (soft-error detection) on ``name``."""
+        return self.env.process(self._set_hashing(name, enabled), name=f"gm-hash:{name}")
+
+    def _set_hashing(self, name: str, enabled: bool):
+        manager = self._manager(name)
+        request = Message(
+            MessageType.SET_HASHING, sender="global-mgr", payload={"enabled": enabled}
+        )
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        self.actions_taken.append(f"hashing {name} {'on' if enabled else 'off'}")
+        return reply.mtype is MessageType.ACK
+
+    def activate(self, name: str):
+        """Process: bring a standby container online (the dynamic branch).
+
+        Used when CSym detects a broken bond: CNA "start[s] reading data
+        from Bonds".  The standby container already holds nodes; activation
+        spawns its replicas and wires them into the upstream link.
+        """
+        return self.env.process(self._activate(name), name=f"gm-activate:{name}")
+
+    def _activate(self, name: str, nodes: Optional[List[Node]] = None):
+        manager = self._manager(name)
+        container = manager.container
+        if container.active:
+            yield self.env.timeout(0)
+            return container.units
+        container.active = True
+        if nodes is None:
+            nodes = container.standby_nodes
+        request = Message(
+            MessageType.INCREASE_REQUEST, sender="global-mgr", payload={"nodes": nodes}
+        )
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        self.actions_taken.append(f"activate {name}")
+        return reply.payload["units"]
+
+    def retire(self, name: str):
+        """Process: permanently retire a container (e.g. CSym after the
+        branch fires), returning its nodes to the spare pool."""
+        return self.env.process(self._take_offline_single(name), name=f"gm-retire:{name}")
+
+    def _take_offline_single(self, name: str):
+        manager = self._manager(name)
+        request = Message(MessageType.OFFLINE_REQUEST, sender="global-mgr", payload={})
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        for node in reply.payload["nodes"]:
+            self.scheduler._free.append(node)
+        self.actions_taken.append(f"retire {name}")
+        return reply.payload["nodes"]
+
+    # -- helpers --------------------------------------------------------------------------------
+
+    def _manager(self, name: str) -> LocalManager:
+        try:
+            return self.locals[name]
+        except KeyError:
+            raise SimulationError(f"unknown container {name!r}") from None
+
+    def stop(self) -> None:
+        self._stopped = True
+        for proc in (self._recv_proc, self._control_proc):
+            if proc.is_alive:
+                proc.interrupt("stop")
+        for manager in self.locals.values():
+            manager.stop()

@@ -1,0 +1,407 @@
+"""Per-container (local) managers.
+
+The local manager is the only entity that understands its component: its
+compute model, speedup behaviour (from the pre-supplied cost model, as the
+paper allows), and how to execute resizes against the running replicas.  It
+answers the global manager's control requests, runs the monitoring loop that
+feeds metric reports upward, and carries out the protocol rounds measured in
+Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simkernel import Environment, Interrupt
+from repro.simkernel.errors import SimulationError
+from repro.cluster.node import Node
+from repro.cluster.scheduler import BatchScheduler
+from repro.containers.container import Container
+from repro.containers.protocol import ProtocolTracer
+from repro.evpath.channel import Messenger
+from repro.evpath.messages import Message, MessageType
+from repro.monitoring.metrics import Telemetry
+from repro.smartpointer.costs import ComputeModel
+
+#: EVPath connection-establishment cost charged per (new replica, peer)
+#: pair during the intra-container metadata exchange of an increase.
+CONNECTION_SETUP_SECONDS = 5e-3
+
+
+class LocalManager:
+    """Owns one container; executes control requests and reports metrics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        container: Container,
+        node: Node,
+        global_manager_endpoint: str = "global-mgr",
+        scheduler: Optional[BatchScheduler] = None,
+        tracer: Optional[ProtocolTracer] = None,
+        telemetry: Optional[Telemetry] = None,
+        monitor_interval: float = 15.0,
+        sla_interval: Optional[float] = None,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.container = container
+        self.node = node
+        self.global_name = global_manager_endpoint
+        self.scheduler = scheduler
+        self.tracer = tracer or ProtocolTracer()
+        self.telemetry = telemetry
+        self.monitor_interval = monitor_interval
+        #: the SLA this manager sizes against; when set, metric reports
+        #: carry the locally computed shortfall/headroom so the global
+        #: manager need not understand the component's cost model (the
+        #: paper's division of knowledge between the two manager levels)
+        self.sla_interval = sla_interval
+
+        self.endpoint = messenger.endpoint(node, f"{container.name}.cmgr")
+        #: override to reroute metric reports (e.g. through a monitoring
+        #: overlay instead of direct manager-to-manager messages)
+        self.send_report = None
+        self._control_proc = env.process(self._control_loop(), name=f"cmgr:{container.name}")
+        self._monitor_proc = env.process(self._monitor_loop(), name=f"cmon:{container.name}")
+
+    # -- introspection the global manager asks for ------------------------------------
+
+    def units_to_sustain(self, interval: float) -> int:
+        """Nodes this component needs to keep up with one chunk per ``interval``.
+
+        A low-latency container (``sla_factor < 1``) is sized against the
+        tightened interval — it must finish well before the next timestep.
+        """
+        effective = interval * self.container.sla_factor
+        return self.container.spec.cost.units_to_sustain(
+            self.container.natoms_hint, effective, self.container.model
+        )
+
+    def headroom(self, interval: float) -> int:
+        """Nodes this container could give up while still sustaining the rate."""
+        if self.container.offline or not self.container.active:
+            return 0
+        needed = self.units_to_sustain(interval)
+        return max(0, self.container.units - needed)
+
+    def shortfall(self, interval: float) -> int:
+        """Additional nodes needed to sustain the rate (0 when keeping up)."""
+        if self.container.offline:
+            return 0
+        needed = self.units_to_sustain(interval)
+        return max(0, needed - self.container.units)
+
+    # -- control loop ------------------------------------------------------------------
+
+    def _control_loop(self):
+        while True:
+            try:
+                msg = yield self.endpoint.recv(
+                    where=lambda m: m.mtype
+                    in (
+                        MessageType.INCREASE_REQUEST,
+                        MessageType.DECREASE_REQUEST,
+                        MessageType.OFFLINE_REQUEST,
+                        MessageType.SET_STRIDE,
+                        MessageType.SET_HASHING,
+                    )
+                )
+            except Interrupt:
+                return
+            if msg.mtype is MessageType.INCREASE_REQUEST:
+                yield self.env.process(self._do_increase(msg))
+            elif msg.mtype is MessageType.DECREASE_REQUEST:
+                yield self.env.process(self._do_decrease(msg))
+            elif msg.mtype is MessageType.SET_STRIDE:
+                yield self.env.process(self._do_set_stride(msg))
+            elif msg.mtype is MessageType.SET_HASHING:
+                yield self.env.process(self._do_set_hashing(msg))
+            else:
+                yield self.env.process(self._do_offline(msg))
+
+    # -- increase -------------------------------------------------------------------------
+
+    def _do_increase(self, msg: Message):
+        nodes: List[Node] = msg.payload["nodes"]
+        container = self.container
+        record = self.tracer.begin("increase", container.name, len(nodes), self.env.now)
+        record.round("global->local: increase request")
+
+        if container.model is ComputeModel.PARALLEL:
+            # MPI semantics: full teardown and relaunch at the larger size
+            # (the aprun artifact).  The relaunch cost is recorded separately
+            # so benches can factor it out exactly as the paper does.
+            yield self.env.process(self._relaunch_parallel(nodes, record))
+        else:
+            yield self.env.process(self._spawn_replicas(nodes, record))
+
+        record.round("local->global: resize complete")
+        reply = msg.reply(
+            MessageType.RESIZE_COMPLETE,
+            sender=self.endpoint.name,
+            payload={"units": container.units},
+        )
+        t0 = self.env.now
+        yield self.messenger.send(self.node, self.global_name, reply)
+        record.charge("manager", self.env.now - t0, messages=1)
+        record.finished_at = self.env.now
+        if self.telemetry is not None:
+            self.telemetry.mark(self.env.now, f"increase {container.name} +{len(nodes)}")
+
+    def _spawn_replicas(self, nodes: List[Node], record):
+        """Round-robin / tree growth: spawn and wire new replicas in place."""
+        container = self.container
+        donors = [r for r in container.replicas if not r.passive]
+        for node in nodes:
+            record.round(f"local->replica@{node.node_id}: spawn")
+            # Peers the newcomer must exchange endpoint metadata with:
+            # the manager, every existing replica, and every upstream writer.
+            peers = [self.node] + [r.node for r in container.replicas]
+            if container.input_link is not None:
+                peers += [w.node for w in container.input_link.writers]
+            replica = container.add_replica(node)
+            t0 = self.env.now
+            for peer in peers:
+                yield self.messenger.network.transfer(node, peer, 1024)
+                yield self.env.timeout(CONNECTION_SETUP_SECONDS)
+                yield self.messenger.network.transfer(peer, node, 256)
+            record.charge("intra_container", self.env.now - t0, messages=2 * len(peers))
+            # Stateful components bootstrap the newcomer from a state
+            # snapshot held by an existing replica (future-work support).
+            state = container.spec.state_bytes(container.natoms_hint)
+            if state > 0 and donors and not replica.passive:
+                t0 = self.env.now
+                yield self.messenger.network.transfer(donors[0].node, node, state)
+                record.charge("state_migration", self.env.now - t0, messages=1)
+                record.round(f"state snapshot -> replica@{node.node_id}")
+            record.round(f"replica@{node.node_id}->local: ready")
+
+    def _relaunch_parallel(self, new_nodes: List[Node], record):
+        """MPI resize: tear down all ranks, aprun a bigger job."""
+        container = self.container
+        if self.scheduler is None:
+            raise SimulationError("PARALLEL resize requires a scheduler (aprun)")
+        # Quiesce input, tear down existing ranks.
+        if container.input_link is not None:
+            t0 = self.env.now
+            yield container.input_link.pause_writers()
+            yield container.input_link.drain_readers()
+            record.charge("writer_pause", self.env.now - t0)
+        # Carry unprocessed input across the teardown: the relaunched ranks
+        # must see every timestep the old ones had queued.
+        stranded = []
+        for replica in container.replicas:
+            stranded.extend(replica.drain_queue())
+        old_nodes: List[Node] = []
+        if container.replicas:
+            old_nodes = container.remove_replicas(container.units, allow_teardown=True)
+        # aprun relaunch at the combined size.
+        t0 = self.env.now
+        all_nodes = old_nodes + list(new_nodes)
+        yield self.env.timeout(self.scheduler.aprun.sample(self.scheduler.rng))
+        record.charge("launch", self.env.now - t0)
+        yield self.env.process(self._spawn_replicas(all_nodes, record))
+        actives = [r for r in container.replicas if not r.passive]
+        for i, chunk in enumerate(stranded):
+            yield actives[i % len(actives)].queue.put(chunk)
+        if container.input_link is not None:
+            yield container.input_link.resume_writers()
+
+    # -- decrease --------------------------------------------------------------------------
+
+    def _do_decrease(self, msg: Message):
+        count: int = msg.payload["count"]
+        container = self.container
+        record = self.tracer.begin("decrease", container.name, count, self.env.now)
+        record.round("global->local: decrease request")
+
+        freed: List[Node] = []
+        if count > 0 and container.units > 0:
+            count = min(count, container.units)
+            # Pause upstream writers so no metadata races the teardown —
+            # the dominant cost of a decrease (Figure 5).
+            if container.input_link is not None:
+                record.round("local->writers: pause")
+                t0 = self.env.now
+                yield container.input_link.pause_writers()
+                record.charge(
+                    "writer_pause",
+                    self.env.now - t0,
+                    messages=2 * len(container.input_link.writers),
+                )
+                record.round("writers->local: paused")
+            t0 = self.env.now
+            freed = container.remove_replicas(count)
+            record.charge("intra_container", self.env.now - t0, messages=count)
+            record.round(f"local: retired {count} replicas")
+            # Stateful components: each departing replica's state merges
+            # into a survivor before the node is surrendered.
+            state = container.spec.state_bytes(container.natoms_hint)
+            survivors = [r for r in container.replicas if not r.passive]
+            if state > 0 and survivors:
+                t0 = self.env.now
+                for i, node in enumerate(freed):
+                    target = survivors[i % len(survivors)]
+                    yield self.messenger.network.transfer(node, target.node, state)
+                record.charge("state_migration", self.env.now - t0, messages=len(freed))
+                record.round(f"state merged into {len(survivors)} survivors")
+            if container.input_link is not None:
+                yield container.input_link.resume_writers()
+                record.round("local->writers: resume")
+
+        reply = msg.reply(
+            MessageType.RESIZE_COMPLETE,
+            sender=self.endpoint.name,
+            payload={"nodes": freed, "units": container.units},
+        )
+        t0 = self.env.now
+        yield self.messenger.send(self.node, self.global_name, reply)
+        record.charge("manager", self.env.now - t0, messages=1)
+        record.finished_at = self.env.now
+        if self.telemetry is not None:
+            self.telemetry.mark(self.env.now, f"decrease {container.name} -{count}")
+
+    # -- data-flow controls ----------------------------------------------------------------
+
+    def _do_set_stride(self, msg: Message):
+        """Frequency reduction: process every k-th timestep only.
+
+        One of the control features of Section III-D ("lower the output
+        frequency of one to free up I/O bandwidth for others").  Refused for
+        essential containers — dropping timesteps of the aggregation stage
+        would lose data for everyone downstream.
+        """
+        stride = int(msg.payload["stride"])
+        container = self.container
+        if stride < 1 or (container.essential and stride > 1):
+            reply = msg.reply(MessageType.NACK, sender=self.endpoint.name,
+                              payload={"stride": container.stride})
+        else:
+            container.stride = stride
+            reply = msg.reply(MessageType.ACK, sender=self.endpoint.name,
+                              payload={"stride": stride})
+            if self.telemetry is not None:
+                self.telemetry.mark(self.env.now,
+                                    f"stride {container.name} -> 1/{stride}")
+        yield self.messenger.send(self.node, self.global_name, reply)
+
+    def _do_set_hashing(self, msg: Message):
+        """Toggle soft-error-detection hashing on this container's output."""
+        enabled = bool(msg.payload["enabled"])
+        self.container.hashing = enabled
+        reply = msg.reply(MessageType.ACK, sender=self.endpoint.name,
+                          payload={"enabled": enabled})
+        yield self.messenger.send(self.node, self.global_name, reply)
+
+    # -- offline ----------------------------------------------------------------------------
+
+    def _do_offline(self, msg: Message):
+        """Reduce this container to zero replicas.
+
+        Chunks already pulled into replica queues are written to disk with
+        their current provenance so the work is not lost and post-processing
+        knows which actions remain to be applied.
+        """
+        container = self.container
+        record = self.tracer.begin("offline", container.name, container.units, self.env.now)
+        record.round("global->local: offline request")
+
+        if container.input_link is not None:
+            t0 = self.env.now
+            yield container.input_link.pause_writers()
+            record.charge("writer_pause", self.env.now - t0)
+
+        stranded = []
+        freed: List[Node] = []
+        for replica in container.replicas:
+            if container.input_link is not None and replica.reader is not None:
+                container.input_link.readers.remove(replica.reader)
+                stranded.extend(
+                    m.payload for m in replica.reader.stop()
+                )  # unpulled metadata: chunks stay in upstream buffers
+            stranded_chunks = replica.drain_queue()
+            replica.retire(hard=True)
+            if replica.current_chunk is not None:
+                stranded_chunks.append(replica.current_chunk)
+            for chunk in stranded_chunks:
+                if container.sink_fs is not None:
+                    yield container.sink_fs.write(
+                        replica.node,
+                        f"{container.name}.stranded.ts{chunk.timestep:06d}.bp",
+                        chunk.nbytes,
+                        {"provenance": list(chunk.provenance), "timestep": chunk.timestep,
+                         "stranded": True},
+                    )
+            freed.append(replica.node)
+        container.replicas = []
+        container.offline = True
+        record.round("local: all replicas offline")
+        # If other consumers still read this link (a dynamic branch swapped
+        # the reader set), let the upstream writers flow again; with no
+        # readers left, the upstream stage bypasses the link entirely
+        # (Container.emit writes to disk) so the writers stay quiesced.
+        if container.input_link is not None and container.input_link.readers:
+            yield container.input_link.resume_writers()
+
+        reply = msg.reply(
+            MessageType.OFFLINE_COMPLETE,
+            sender=self.endpoint.name,
+            payload={"nodes": freed, "unpulled": len(stranded)},
+        )
+        yield self.messenger.send(self.node, self.global_name, reply)
+        record.charge("manager", 0.0, messages=1)
+        record.finished_at = self.env.now
+        if self.telemetry is not None:
+            self.telemetry.mark(self.env.now, f"offline {container.name}")
+
+    # -- monitoring ----------------------------------------------------------------------------
+
+    def _monitor_loop(self):
+        container = self.container
+        while True:
+            try:
+                yield self.env.timeout(self.monitor_interval)
+            except Interrupt:
+                return
+            if container.offline:
+                continue
+            container.sample_queues()
+            report = {
+                "container": container.name,
+                "time": self.env.now,
+                "latency_mean": container.latency.mean(),
+                "latency_est": container.latency_estimate(),
+                "latency_last": container.latency.last(),
+                "latency_trend": container.latency.trend(),
+                "queued": container.total_queued,
+                "queue_samples": list(container.queue_samples[-8:]),
+                "buffer_occupancy": container.upstream_buffer_occupancy(),
+                "units": container.units,
+                "completions": container.completions,
+            }
+            if self.sla_interval is not None:
+                report["shortfall"] = self.shortfall(self.sla_interval)
+                report["headroom"] = self.headroom(self.sla_interval)
+            if self.telemetry is not None:
+                t = self.env.now
+                if report["latency_mean"] is not None:
+                    self.telemetry.record(container.name, "latency_mean", t, report["latency_mean"])
+                self.telemetry.record(container.name, "queued", t, report["queued"])
+                self.telemetry.record(
+                    container.name, "buffer_occupancy", t, report["buffer_occupancy"]
+                )
+                self.telemetry.record(container.name, "units", t, container.units)
+            message = Message(
+                MessageType.METRIC_REPORT, sender=self.endpoint.name, payload=report
+            )
+            if self.send_report is not None:
+                yield self.send_report(message)
+            else:
+                yield self.messenger.send(self.node, self.global_name, message)
+
+    def stop(self) -> None:
+        for proc in (self._control_proc, self._monitor_proc):
+            if proc.is_alive:
+                proc.interrupt("stop")

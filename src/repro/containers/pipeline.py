@@ -1,0 +1,533 @@
+"""Pipeline assembly: LAMMPS -> Helper -> Bonds -> CSym (-> CNA) under management.
+
+:class:`PipelineBuilder` wires the full experiment stack the paper evaluates:
+the simulated machine, the staging partition and its scheduler, the DataTap
+links, the LAMMPS driver, one container per SmartPointer stage, the local
+managers, and the global manager.  The resulting :class:`Pipeline` exposes
+``run()`` plus the telemetry the Figure 7-10 benches print.
+
+The default stage allocations per workload reproduce the paper's three
+configurations (see DESIGN.md's experiment index); all knobs are exposed for
+the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.simkernel import Environment
+from repro.simkernel.errors import SimulationError
+from repro.cluster.machine import Machine
+from repro.cluster.presets import franklin
+from repro.cluster.scheduler import AprunModel, BatchScheduler
+from repro.containers.container import Container
+from repro.containers.global_manager import GlobalManager
+from repro.containers.local_manager import LocalManager
+from repro.containers.policy import LatencyPolicy, ManagementPolicy
+from repro.containers.protocol import ProtocolTracer
+from repro.datatap.link import DataTapLink
+from repro.datatap.scheduling import PullScheduler
+from repro.datatap.writer import DataTapWriter
+from repro.adios.filesystem import ParallelFileSystem
+from repro.evpath.channel import Messenger
+from repro.lammps.driver import LammpsDriver
+from repro.lammps.workload import WeakScalingWorkload
+from repro.monitoring.metrics import Telemetry
+from repro.smartpointer.component import SMARTPOINTER_COMPONENTS, ComponentSpec
+from repro.smartpointer.costs import ComputeModel
+
+
+@dataclass
+class StageConfig:
+    """Configuration of one pipeline stage (container)."""
+
+    component: str
+    units: int
+    model: ComputeModel
+    queue_capacity: int = 1
+    standby: bool = False
+    #: name of the stage this one reads from; None = reads the simulation
+    upstream: Optional[str] = None
+    #: SLA class: 1.0 = deadline (finish by the next timestep, e.g.
+    #: checkpointing); < 1.0 = low latency (e.g. crack discovery)
+    sla_factor: float = 1.0
+
+    def spec(self) -> ComponentSpec:
+        return SMARTPOINTER_COMPONENTS[self.component]
+
+
+def default_stages(workload: WeakScalingWorkload) -> List[StageConfig]:
+    """The paper's allocations for the three Figure 7-9 configurations."""
+    helper_needed = SMARTPOINTER_COMPONENTS["helper"].cost.units_to_sustain(
+        workload.natoms, workload.output_interval, ComputeModel.TREE
+    )
+    if workload.sim_nodes <= 256:
+        units = {"helper": 4, "bonds": 4, "csym": 3, "cna": 2}
+    elif workload.sim_nodes <= 512:
+        units = {"helper": 3, "bonds": 9, "csym": 5, "cna": 3}
+    else:
+        units = {"helper": max(6, helper_needed), "bonds": 7, "csym": 4, "cna": 3}
+    return [
+        StageConfig("helper", units["helper"], ComputeModel.TREE, upstream=None),
+        StageConfig("bonds", units["bonds"], ComputeModel.ROUND_ROBIN, upstream="helper"),
+        StageConfig("csym", units["csym"], ComputeModel.ROUND_ROBIN, upstream="bonds"),
+        StageConfig("cna", units["cna"], ComputeModel.ROUND_ROBIN, upstream="bonds",
+                    standby=True),
+    ]
+
+
+class Pipeline:
+    """A fully wired experiment; see :class:`PipelineBuilder`."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.machine: Optional[Machine] = None
+        self.messenger: Optional[Messenger] = None
+        self.scheduler: Optional[BatchScheduler] = None
+        self.fs: Optional[ParallelFileSystem] = None
+        self.telemetry = Telemetry()
+        self.tracer = ProtocolTracer()
+        self.driver: Optional[LammpsDriver] = None
+        self.containers: Dict[str, Container] = {}
+        self.managers: Dict[str, LocalManager] = {}
+        self.global_manager: Optional[GlobalManager] = None
+        self.links: Dict[str, DataTapLink] = {}
+        self.monitoring_overlay = None
+        self.branch_fired = False
+        self.end_to_end: List[tuple] = []  # (exit_time, timestep, latency)
+
+    def run(self, settle: float = 60.0, deadline: Optional[float] = None) -> bool:
+        """Run until the driver finishes (plus ``settle`` seconds of drain).
+
+        ``deadline`` caps the simulated time waited for the driver — without
+        it, a fully blocked pipeline (the pathology containers exist to
+        prevent) would tick its monitoring loops forever.  Defaults to 4x
+        the nominal run length.  Returns True if the driver finished.
+        """
+        if self.driver is None:
+            raise SimulationError("pipeline has no driver")
+        wl = self.driver.workload
+        if deadline is None:
+            deadline = 4.0 * wl.total_steps * wl.output_interval
+        self.env.run(until=self.env.any_of(
+            [self.driver.finished, self.env.timeout(deadline)]
+        ))
+        finished = self.driver.finished.triggered
+        if finished:
+            self.env.run(until=self.env.now + settle)
+        if self.global_manager is not None:
+            self.global_manager.stop()
+        if self.monitoring_overlay is not None:
+            self.monitoring_overlay.stop()
+        return finished
+
+    # -- convenience metrics ------------------------------------------------------------
+
+    def latency_series(self, container: str):
+        series = self.telemetry.get(container, "step_latency")
+        return ([], []) if series is None else (series.times, series.values)
+
+    def record_exit(self, chunk) -> None:
+        latency = self.env.now - chunk.created_at
+        self.end_to_end.append((self.env.now, chunk.timestep, latency))
+        self.telemetry.record("pipeline", "end_to_end", self.env.now, latency)
+        self.telemetry.record("pipeline", "end_to_end_by_step", chunk.timestep, latency)
+
+    # -- interactive (mid-run) launches ---------------------------------------------------
+
+    def launch_stage(
+        self,
+        spec,
+        units: int,
+        upstream: str,
+        name: Optional[str] = None,
+        model=None,
+        queue_capacity: int = 1,
+        monitor_interval: float = 15.0,
+    ):
+        """Process: launch a new analytics/visualization container mid-run.
+
+        The paper's interactive scenario ("a user can also launch a
+        visualization code when needed"): the new container reads the
+        ``upstream`` stage's output — an output link is attached to that
+        stage on the fly if it was a sink — takes ``units`` nodes from the
+        spare pool via the regular increase protocol, and becomes a managed
+        citizen: it reports metrics and can donate nodes (be stolen from)
+        like any other non-essential container.
+        """
+        return self.env.process(
+            self._launch_stage(spec, units, upstream, name, model,
+                               queue_capacity, monitor_interval),
+            name=f"launch:{name or spec.name}",
+        )
+
+    def _launch_stage(self, spec, units, upstream, name, model,
+                      queue_capacity, monitor_interval):
+        from repro.smartpointer.costs import ComputeModel
+
+        name = name or spec.name
+        if name in self.containers:
+            raise SimulationError(f"stage {name!r} already exists")
+        up = self.containers[upstream]
+        # Every consumer stage gets its own link so it sees the *full*
+        # upstream stream; sharing a link would round-robin-split it.
+        link = DataTapLink(self.env, self.messenger, name=f"->{name}")
+        up.attach_output_link(link)
+        self.links[name] = link
+        container = Container(
+            self.env,
+            self.messenger,
+            spec,
+            model or spec.default_model(),
+            input_link=link,
+            output_link=None,
+            name=name,
+            queue_capacity=queue_capacity,
+            sink_fs=self.fs,
+            natoms_hint=self.driver.workload.natoms if self.driver else 0,
+        )
+        self.containers[name] = container
+        container.on_complete = self.make_on_complete(name)
+        # The manager rides on the global manager's node until the first
+        # replica exists; replicas spawn through the standard protocol.
+        manager = LocalManager(
+            self.env,
+            self.messenger,
+            container,
+            node=self.global_manager.node,
+            scheduler=self.scheduler,
+            tracer=self.tracer,
+            telemetry=self.telemetry,
+            monitor_interval=monitor_interval,
+            sla_interval=self.global_manager.sla_interval,
+        )
+        self.managers[name] = manager
+        self.global_manager.register(manager, depends_on=upstream)
+        self.telemetry.mark(self.env.now, f"interactive launch {name}")
+        result = yield self.global_manager.increase(name, units)
+        return container
+
+    # -- completion hooks -------------------------------------------------------------------
+
+    def make_on_complete(self, name: str):
+        env = self.env
+
+        def on_complete(container: Container, in_chunk, out_chunk) -> None:
+            latency = env.now - in_chunk.entered_stage_at
+            self.telemetry.record(name, "step_latency", env.now, latency)
+            self.telemetry.record(name, "latency_by_step", in_chunk.timestep, latency)
+            # Pipeline exit: a sink stage, or a stage whose downstream was
+            # pruned (its output goes to disk).
+            if container.output_link is None or container.offline_downstream():
+                self.record_exit(out_chunk)
+            # Dynamic branch: CSym sees the crack marker.
+            if (
+                name == "csym"
+                and not self.branch_fired
+                and isinstance(in_chunk.payload, dict)
+                and in_chunk.payload.get("crack")
+            ):
+                self.branch_fired = True
+                env.process(self._fire_branch(), name="branch")
+
+        return on_complete
+
+    def _fire_branch(self):
+        """CSym detected a break: activate CNA on Bonds' output, retire CSym.
+
+        (Section III-B1: on detection the next stage, CNA, starts reading
+        data from Bonds; the CSym path ends.)
+        """
+        gm = self.global_manager
+        self.telemetry.mark(self.env.now, "crack detected: branch to CNA")
+        if "cna" in self.containers:
+            cna = self.containers["cna"]
+            bonds = self.containers.get("bonds")
+            if bonds is not None and bonds.output_link is not None:
+                cna.input_link = bonds.output_link
+            yield gm.activate("cna")
+        yield gm.retire("csym")
+
+
+class PipelineBuilder:
+    """Builds a :class:`Pipeline` for a workload."""
+
+    def __init__(
+        self,
+        env: Environment,
+        workload: WeakScalingWorkload,
+        stages: Optional[List[StageConfig]] = None,
+        policy: Optional[ManagementPolicy] = None,
+        machine: Optional[Machine] = None,
+        num_sim_writers: int = 4,
+        control_interval: float = 30.0,
+        monitor_interval: float = 15.0,
+        crack_step: Optional[int] = None,
+        use_pull_scheduler: bool = True,
+        sla_interval: Optional[float] = None,
+        overflow_occupancy: float = 0.35,
+        overflow_horizon: float = 150.0,
+        aprun: Optional[AprunModel] = None,
+        seed: int = 0,
+        transaction_manager=None,
+        placement: str = "naive",
+        monitoring: str = "direct",
+        stage_buffer_bytes: Optional[float] = None,
+        sim_buffer_bytes: Optional[float] = None,
+    ):
+        self.env = env
+        self.workload = workload
+        self.stages = stages if stages is not None else default_stages(workload)
+        self.policy = policy or LatencyPolicy(overflow_occupancy=overflow_occupancy)
+        self.machine = machine
+        self.num_sim_writers = num_sim_writers
+        self.control_interval = control_interval
+        self.monitor_interval = monitor_interval
+        self.crack_step = crack_step
+        self.use_pull_scheduler = use_pull_scheduler
+        self.sla_interval = sla_interval or workload.output_interval
+        self.overflow_horizon = overflow_horizon
+        self.aprun = aprun or AprunModel()
+        self.seed = seed
+        self.transaction_manager = transaction_manager
+        if placement not in ("naive", "topology"):
+            raise ValueError(f"unknown placement strategy {placement!r}")
+        self.placement = placement
+        if monitoring not in ("direct", "overlay"):
+            raise ValueError(f"unknown monitoring mode {monitoring!r}")
+        self.monitoring = monitoring
+        #: caps on staging buffers (None = node-memory defaults); tightening
+        #: these makes the blocking pathology reproducible at small scale
+        self.stage_buffer_bytes = stage_buffer_bytes
+        self.sim_buffer_bytes = sim_buffer_bytes
+
+    def build(self) -> Pipeline:
+        env = self.env
+        wl = self.workload
+        pipe = Pipeline(env)
+
+        # Machine and partitions.  The simulation partition only needs the
+        # writer nodes to exist as endpoints; we size the machine at
+        # writers + staging to keep the topology graph small, while the
+        # workload object carries the logical simulation node count.
+        machine = self.machine or franklin(
+            env, num_nodes=self.num_sim_writers + wl.staging_nodes + 2
+        )
+        pipe.machine = machine
+        sim_part = machine.partition("sim", self.num_sim_writers)
+        staging = machine.partition("staging", wl.staging_nodes)
+
+        messenger = Messenger(env, machine.network)
+        pipe.messenger = messenger
+        fs = ParallelFileSystem(env)
+        pipe.fs = fs
+        scheduler = BatchScheduler(env, staging, aprun=self.aprun)
+        pipe.scheduler = scheduler
+
+        import numpy as np
+
+        scheduler.rng = np.random.default_rng(self.seed)
+
+        # Global manager co-located on the first staging node (a management
+        # process, not a replica slot — documented in DESIGN.md).
+        gm_node = staging[0]
+        gm = GlobalManager(
+            env,
+            messenger,
+            gm_node,
+            scheduler,
+            sla_interval=self.sla_interval,
+            policy=self.policy,
+            tracer=pipe.tracer,
+            telemetry=pipe.telemetry,
+            control_interval=self.control_interval,
+            overflow_horizon=self.overflow_horizon,
+            transaction_manager=self.transaction_manager,
+        )
+        pipe.global_manager = gm
+
+        # Links: one per stage boundary, keyed by the consumer stage name.
+        links: Dict[str, DataTapLink] = {}
+        for stage in self.stages:
+            key = stage.component
+            links[key] = DataTapLink(env, messenger, name=f"->{key}")
+        pipe.links = links
+
+        # LAMMPS writers feed the stage whose upstream is None.
+        first_stage = next(s for s in self.stages if s.upstream is None)
+        from repro.datatap.buffer import StagingBuffer
+
+        sim_writers = [
+            DataTapWriter(
+                env, messenger, sim_part[i % len(sim_part)],
+                buffer=(
+                    StagingBuffer(env, sim_part[i % len(sim_part)],
+                                  capacity_bytes=self.sim_buffer_bytes,
+                                  name=f"lammps-w{i}.buf")
+                    if self.sim_buffer_bytes is not None else None
+                ),
+                name=f"lammps-w{i}",
+            )
+            for i in range(self.num_sim_writers)
+        ]
+        for writer in sim_writers:
+            links[first_stage.component].add_writer(writer)
+
+        pull_sched = (
+            PullScheduler(env, max_concurrent_pulls=4, defer_during_output=True)
+            if self.use_pull_scheduler
+            else None
+        )
+        driver = LammpsDriver(
+            env, sim_writers, wl, crack_step=self.crack_step,
+            pull_scheduler=pull_sched,
+        )
+        pipe.driver = driver
+
+        # Patch driver writes so chunks get their stage-entry timestamp.
+        self._instrument_driver(driver)
+
+        # Containers bottom-up: output links must exist before replicas are
+        # spawned, so create containers in stage order, then allocate nodes.
+        downstream_of: Dict[str, List[str]] = {}
+        for stage in self.stages:
+            if stage.upstream is not None:
+                downstream_of.setdefault(stage.upstream, []).append(stage.component)
+
+        # Topology-aware placement (the paper's future-work extension):
+        # precompute a stage -> node assignment minimizing hop-weighted data
+        # movement; otherwise stages take nodes first-fit.
+        planned: Optional[Dict[str, List]] = None
+        if self.placement == "topology":
+            from repro.containers.placement import (
+                TopologyAwarePlacement,
+                pipeline_placement_problem,
+            )
+
+            ratios = {s.component: s.spec().output_ratio for s in self.stages}
+            edges = []
+            for stage in self.stages:
+                upstream = stage.upstream or "sim"
+                volume = wl.bytes_per_step
+                if stage.upstream is not None:
+                    volume *= ratios.get(stage.upstream, 1.0)
+                edges.append((upstream, stage.component, volume))
+            problem = pipeline_placement_problem(
+                machine,
+                {s.component: s.units for s in self.stages},
+                edges,
+                staging_nodes=scheduler.peek_free(),
+                sim_io_nodes=list(sim_part.nodes),
+            )
+            planned = TopologyAwarePlacement().plan(machine, problem).assignment
+
+        for stage in self.stages:
+            name = stage.component
+            spec = stage.spec()
+            consumers = downstream_of.get(name, [])
+            standby_names = {s.component for s in self.stages if s.standby}
+            # Each active consumer gets its own link (every consumer sees the
+            # full stream).  Standby consumers (CNA) do not get a link up
+            # front: the paper's branch *swaps* the reader set — on
+            # activation, CNA's readers join the first consumer's link in
+            # place of the retiring CSym (see Pipeline._fire_branch).  A
+            # stage whose consumers are all standby keeps one link so the
+            # branch has something to join; until then it emits to disk.
+            active_consumers = [c for c in consumers if c not in standby_names]
+            if active_consumers:
+                output_links = [links[c] for c in active_consumers]
+            elif consumers:
+                output_links = [links[consumers[0]]]
+            else:
+                output_links = []
+            container = Container(
+                env,
+                messenger,
+                spec,
+                stage.model,
+                input_link=links[name],
+                output_links=output_links,
+                queue_capacity=stage.queue_capacity,
+                gather_count=self.num_sim_writers if stage.upstream is None else 1,
+                # DataStager scheduling gates the pulls that cross from the
+                # simulation into the staging area (the first stage); pulls
+                # between staging nodes stay unscheduled.
+                pull_scheduler=pull_sched if stage.upstream is None else None,
+                sink_fs=fs,
+                active=not stage.standby,
+                natoms_hint=wl.natoms,
+                writer_buffer_bytes=self.stage_buffer_bytes,
+                sla_factor=stage.sla_factor,
+            )
+            pipe.containers[name] = container
+
+            if planned is not None:
+                job = scheduler.allocate_specific(planned[name], name=name)
+            else:
+                job = scheduler.allocate(stage.units, name=name)
+            if stage.standby:
+                container.standby_nodes = list(job.nodes)
+            else:
+                for node in job.nodes:
+                    container.add_replica(node)
+
+            manager = LocalManager(
+                env,
+                messenger,
+                container,
+                node=job.nodes[0],
+                scheduler=scheduler,
+                tracer=pipe.tracer,
+                telemetry=pipe.telemetry,
+                monitor_interval=self.monitor_interval,
+                sla_interval=self.sla_interval,
+            )
+            pipe.managers[name] = manager
+            gm.register(manager, depends_on=stage.upstream)
+
+        # Completion hooks: per-container latency telemetry, pipeline-exit
+        # end-to-end latency, and the CSym crack branch.
+        for name, container in pipe.containers.items():
+            container.on_complete = pipe.make_on_complete(name)
+
+        # Monitoring transport: direct manager-to-manager messages (default)
+        # or a windowed aggregation overlay (Section III-E) whose root sits
+        # on the global manager's node.
+        if self.monitoring == "overlay":
+            from repro.evpath.overlay import OverlayTree
+
+            leaf_nodes = []
+            seen_ids = set()
+            for manager in pipe.managers.values():
+                if manager.node.node_id not in seen_ids:
+                    seen_ids.add(manager.node.node_id)
+                    leaf_nodes.append(manager.node)
+            overlay = OverlayTree(
+                env,
+                messenger,
+                gm_node,
+                leaf_nodes,
+                on_report=lambda msg: gm.ingest_report(msg.payload),
+                flush_interval=self.monitor_interval,
+            )
+            pipe.monitoring_overlay = overlay
+            for manager in pipe.managers.values():
+                manager.send_report = (
+                    lambda message, _node=manager.node: overlay.submit(_node, message)
+                )
+
+        return pipe
+
+    # -- hooks ------------------------------------------------------------------------------
+
+    def _instrument_driver(self, driver: LammpsDriver) -> None:
+        for writer in driver.writers:
+            original = writer.write
+
+            def stamped(chunk, _orig=original, _env=self.env):
+                chunk.entered_stage_at = _env.now
+                return _orig(chunk)
+
+            writer.write = stamped
+

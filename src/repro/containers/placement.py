@@ -1,0 +1,176 @@
+"""Topology-aware container placement.
+
+The paper's future work (Section V): "how to place and co-locate containers
+on the petascale machine to reduce simulation-to-analytics data movement
+and taking into account node and interconnect topologies."
+
+This module implements that extension.  Given the pipeline's stage graph,
+per-edge data volumes, and the machine topology, a placement assigns each
+stage's replicas to staging nodes so that the *hop-weighted* data movement
+is minimized:
+
+    cost(placement) = sum over edges (u -> v) of
+        volume(u, v) * mean_hops(nodes(u), nodes(v))
+
+Two planners are provided:
+
+* :class:`NaivePlacement` — first-fit in stage order (what the base builder
+  does implicitly); the baseline.
+* :class:`TopologyAwarePlacement` — greedy chain placement: stages are laid
+  out in pipeline order, each stage picking the free nodes closest (in
+  topology hops) to its upstream stage's nodes, with the first stage pulled
+  toward the simulation partition's I/O nodes.
+
+The ablation bench (`bench_placement.py`) quantifies the reduction in
+mean per-chunk transfer latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cluster.machine import Machine
+from repro.cluster.node import Node
+
+
+@dataclass
+class PlacementProblem:
+    """Inputs to a placement planner.
+
+    ``stages`` maps stage name -> node count; ``edges`` lists
+    ``(producer, consumer, bytes_per_step)``; producers named in ``edges``
+    but absent from ``stages`` are *anchors* — already-placed endpoints such
+    as the simulation's I/O writer nodes, given in ``anchors``.
+    """
+
+    stages: Dict[str, int]
+    edges: List[Tuple[str, str, float]]
+    candidate_nodes: List[Node]
+    anchors: Dict[str, List[Node]] = field(default_factory=dict)
+
+    def validate(self) -> None:
+        demand = sum(self.stages.values())
+        if demand > len(self.candidate_nodes):
+            raise ValueError(
+                f"placement needs {demand} nodes, {len(self.candidate_nodes)} available"
+            )
+        names = set(self.stages) | set(self.anchors)
+        for producer, consumer, volume in self.edges:
+            if producer not in names or consumer not in names:
+                raise ValueError(f"edge ({producer}->{consumer}) references unknown stage")
+            if volume < 0:
+                raise ValueError("edge volume must be non-negative")
+
+
+@dataclass
+class Placement:
+    """A stage -> nodes assignment plus its evaluated cost."""
+
+    assignment: Dict[str, List[Node]]
+    cost: float
+
+    def nodes_of(self, stage: str) -> List[Node]:
+        return self.assignment[stage]
+
+
+def mean_hops(machine: Machine, a: Sequence[Node], b: Sequence[Node]) -> float:
+    """Average topology hop count over the bipartite node pairs."""
+    if not a or not b:
+        return 0.0
+    total = 0
+    for left in a:
+        for right in b:
+            total += machine.network.hops(left.node_id, right.node_id)
+    return total / (len(a) * len(b))
+
+
+def placement_cost(machine: Machine, problem: PlacementProblem,
+                   assignment: Dict[str, List[Node]]) -> float:
+    """Hop-weighted bytes moved per output step under ``assignment``."""
+    located = dict(problem.anchors)
+    located.update(assignment)
+    cost = 0.0
+    for producer, consumer, volume in problem.edges:
+        cost += volume * mean_hops(machine, located[producer], located[consumer])
+    return cost
+
+
+class NaivePlacement:
+    """Baseline: assign stages first-fit in declaration order."""
+
+    def plan(self, machine: Machine, problem: PlacementProblem) -> Placement:
+        problem.validate()
+        free = list(problem.candidate_nodes)
+        assignment: Dict[str, List[Node]] = {}
+        for stage, count in problem.stages.items():
+            assignment[stage] = [free.pop(0) for _ in range(count)]
+        return Placement(assignment, placement_cost(machine, problem, assignment))
+
+
+class TopologyAwarePlacement:
+    """Greedy chain placement minimizing hop-weighted data movement.
+
+    Stages are processed in order of their largest incoming data volume
+    (heaviest consumers first, so they get the prime spots next to their
+    producers).  Each stage's nodes are chosen greedily: the free node with
+    the smallest volume-weighted hop distance to all already-placed
+    neighbours of the stage.
+    """
+
+    def plan(self, machine: Machine, problem: PlacementProblem) -> Placement:
+        problem.validate()
+        free = list(problem.candidate_nodes)
+        located: Dict[str, List[Node]] = dict(problem.anchors)
+        assignment: Dict[str, List[Node]] = {}
+
+        # Neighbour volumes per stage (incoming and outgoing both pull).
+        neighbor_volumes: Dict[str, List[Tuple[str, float]]] = {s: [] for s in problem.stages}
+        for producer, consumer, volume in problem.edges:
+            if consumer in neighbor_volumes:
+                neighbor_volumes[consumer].append((producer, volume))
+            if producer in neighbor_volumes:
+                neighbor_volumes[producer].append((consumer, volume))
+
+        order = sorted(
+            problem.stages,
+            key=lambda s: -max((v for _, v in neighbor_volumes[s]), default=0.0),
+        )
+        for stage in order:
+            chosen: List[Node] = []
+            for _ in range(problem.stages[stage]):
+                best_node, best_score = None, None
+                for node in free:
+                    score = 0.0
+                    for neighbor, volume in neighbor_volumes[stage]:
+                        anchor_nodes = located.get(neighbor)
+                        if not anchor_nodes:
+                            continue
+                        hops = min(
+                            machine.network.hops(node.node_id, other.node_id)
+                            for other in anchor_nodes
+                        )
+                        score += volume * hops
+                    if best_score is None or score < best_score:
+                        best_node, best_score = node, score
+                chosen.append(best_node)
+                free.remove(best_node)
+            assignment[stage] = chosen
+            located[stage] = chosen
+        return Placement(assignment, placement_cost(machine, problem, assignment))
+
+
+def pipeline_placement_problem(
+    machine: Machine,
+    stage_units: Dict[str, int],
+    stage_edges: List[Tuple[str, str, float]],
+    staging_nodes: List[Node],
+    sim_io_nodes: List[Node],
+) -> PlacementProblem:
+    """Convenience constructor for the standard LAMMPS pipeline shape."""
+    return PlacementProblem(
+        stages=dict(stage_units),
+        edges=list(stage_edges),
+        candidate_nodes=list(staging_nodes),
+        anchors={"sim": list(sim_io_nodes)},
+    )

@@ -1,0 +1,180 @@
+"""Replicas: one component instance on one staging node."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.simkernel import Environment, Interrupt, Store
+from repro.cluster.node import Node
+from repro.data import DataChunk
+from repro.datatap.reader import DataTapReader
+from repro.datatap.writer import DataTapWriter
+from repro.evpath.channel import Messenger
+
+if TYPE_CHECKING:
+    from repro.containers.container import Container
+
+
+class Replica:
+    """A single running instance of a container's component.
+
+    An *active* replica owns an input queue fed by a DataTap reader, a worker
+    process that services chunks, and one output writer per downstream link
+    (or the container's disk sink when no consumer is attached).  A *passive* replica is a
+    member node of a TREE/PARALLEL component: it contributes capacity (the
+    container's service time divides by the unit count) but data enters and
+    leaves through the head replica only.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        node: Node,
+        container: "Container",
+        index: int,
+        passive: bool = False,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.node = node
+        self.container = container
+        self.index = index
+        self.passive = passive
+        self.name = f"{container.name}-r{index}"
+
+        self.queue: Optional[Store] = None
+        self.reader: Optional[DataTapReader] = None
+        #: one DataTap writer per output link, keyed by link name
+        self.writers: Dict[str, DataTapWriter] = {}
+        self._worker = None
+        self._gather: Dict[int, List[DataChunk]] = {}
+        self._service_proc = None
+        self.current_chunk: Optional[DataChunk] = None
+        self.chunks_processed = 0
+        self.busy_time = 0.0
+        self.retired = False
+
+        if passive:
+            return
+
+        self.queue = Store(
+            env,
+            capacity=container.queue_capacity,
+            name=f"{self.name}.q",
+            overflow=container.queue_overflow,
+        )
+        if container.input_link is not None:
+            self.reader = DataTapReader(
+                env, messenger, node, self.name, self.queue,
+                scheduler=container.pull_scheduler,
+            )
+            container.input_link.add_reader(self.reader)
+        for link in container.output_links:
+            writer = DataTapWriter(
+                env, messenger, node,
+                buffer=container._make_buffer(node, link.name),
+                name=f"{self.name}.w.{link.name}",
+            )
+            self.writers[link.name] = writer
+            link.add_writer(writer)
+        self._worker = env.process(self._work(), name=f"worker:{self.name}")
+
+    # -- worker -----------------------------------------------------------------
+
+    def _work(self):
+        container = self.container
+        while True:
+            try:
+                chunk = yield self.queue.get()
+            except Interrupt:
+                return
+            if container.gather_count > 1:
+                pending = self._gather.setdefault(chunk.timestep, [])
+                pending.append(chunk)
+                if len(pending) < container.gather_count:
+                    continue
+                fragments = self._gather.pop(chunk.timestep)
+                chunk = self._merge(fragments)
+            if container.stride > 1 and chunk.timestep % container.stride != 0:
+                # Frequency reduction in effect: skip this timestep.
+                container.skipped += 1
+                continue
+            self._service_proc = self.env.process(self._service(chunk))
+            try:
+                yield self._service_proc
+            except Interrupt as interrupt:
+                if getattr(interrupt, "cause", None) == "retire-hard":
+                    if self._service_proc.is_alive:
+                        self._service_proc.interrupt("retire-hard")
+                return
+
+    def _merge(self, fragments: List[DataChunk]) -> DataChunk:
+        """Combine per-writer fragments of one timestep (the Helper gather)."""
+        total_bytes = sum(f.nbytes for f in fragments)
+        total_atoms = sum(f.natoms for f in fragments)
+        merged = DataChunk(
+            timestep=fragments[0].timestep,
+            nbytes=total_bytes,
+            natoms=total_atoms,
+            payload=fragments[0].payload,
+            provenance=fragments[0].provenance,
+            created_at=min(f.created_at for f in fragments),
+        )
+        merged.entered_stage_at = min(f.entered_stage_at for f in fragments)
+        return merged
+
+    def _service(self, chunk: DataChunk):
+        start = self.env.now
+        self.current_chunk = chunk
+        service = self.container.service_time(chunk)
+        try:
+            yield self.node.compute(service, cores=1)
+        except Interrupt:
+            # Hard retire mid-service: the caller strands ``current_chunk``.
+            return
+        self.current_chunk = None
+        self.busy_time += self.env.now - start
+        self.chunks_processed += 1
+        out = chunk.derive(
+            self.container.name,
+            nbytes=chunk.nbytes * self.container.spec.output_ratio,
+            natoms=chunk.natoms,
+        )
+        out.payload = chunk.payload
+        if self.container.hashing:
+            # Soft-error detection: hash the output before it leaves the
+            # node.  ~2 GiB/s per core is a realistic CRC/xxhash rate.
+            yield self.node.compute(out.nbytes / (2 * 2**30), cores=1)
+            out.integrity = f"xxh64:{out.chunk_id:016x}"
+        latency = self.env.now - chunk.entered_stage_at
+        yield self.env.process(self.container.emit(out, self))
+        self.container.record_completion(chunk, out, latency, self)
+
+    # -- teardown ----------------------------------------------------------------
+
+    def drain_queue(self) -> List[DataChunk]:
+        """Remove and return unprocessed chunks (for re-dispatch on retire)."""
+        if self.passive:
+            return []
+        items, self.queue.items = list(self.queue.items), []
+        # Include partially gathered fragments so no timestep is lost.
+        for fragments in self._gather.values():
+            items.extend(fragments)
+        self._gather.clear()
+        return items
+
+    def retire(self, hard: bool = False) -> None:
+        """Stop the worker (reader teardown is the link's job).
+
+        ``hard=True`` (the offline path) also aborts the chunk currently in
+        service; the caller is responsible for stranding ``current_chunk``
+        to disk.  A graceful retire lets in-flight service finish and emit.
+        """
+        self.retired = True
+        if self._worker is not None and self._worker.is_alive:
+            self._worker.interrupt("retire-hard" if hard else "retire")
+
+    def __repr__(self) -> str:
+        kind = "passive" if self.passive else f"q={self.queue.size}"
+        return f"<Replica {self.name} node={self.node.node_id} {kind}>"

@@ -1,0 +1,170 @@
+"""DataTap readers: pull-when-ready consumers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.simkernel import Environment, Event, Interrupt, Store
+from repro.cluster.node import Node
+from repro.evpath.channel import Messenger
+from repro.evpath.messages import Message, MessageType
+
+if TYPE_CHECKING:
+    from repro.datatap.link import DataTapLink
+
+#: Wire size of the pull-completion notification back to the writer.
+PULL_DONE_BYTES = 128
+
+
+class DataTapReader:
+    """The consumer half of a DataTap link.
+
+    A reader loops: receive a metadata push, *reserve* room in its output
+    queue, get a slot from the pull scheduler, RDMA-GET the chunk from the
+    writer's buffer, notify the writer (freeing its buffer), and deposit the
+    chunk.  Reserving queue space before moving any data is what makes the
+    transport "controlled data movement [that does] not overwhelm receivers"
+    (Section III).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        node: Node,
+        name: str,
+        out_queue: Store,
+        scheduler=None,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.node = node
+        self.name = name
+        self.out_queue = out_queue
+        self.scheduler = scheduler
+        self.link: Optional["DataTapLink"] = None
+        self.endpoint = messenger.endpoint(node, name)
+        self._proc = env.process(self._run(), name=f"dtreader:{name}")
+        self._inflight = 0
+        self._pull_proc = None
+        self._current_meta: Optional[Message] = None
+        self._drained: Optional[Event] = None
+        #: metadata whose pulls were cancelled by teardown (chunks remain in
+        #: the writer's buffer)
+        self.cancelled_meta: List[Message] = []
+        self.stopped = False
+        #: monitoring
+        self.chunks_pulled = 0
+        self.bytes_pulled = 0.0
+
+    # -- main loop -------------------------------------------------------------------
+
+    def _run(self):
+        while True:
+            try:
+                meta = yield self.endpoint.recv(MessageType.DATA_METADATA)
+            except Interrupt:
+                return
+            self._inflight += 1
+            self._current_meta = meta
+            self._pull_proc = self.env.process(self._pull(meta), name=f"pull:{self.name}")
+            try:
+                yield self._pull_proc
+            except Interrupt:
+                # Teardown raced the pull: cancel it.  The chunk stays in the
+                # writer's buffer; stop() hands the metadata back to the link.
+                if self._pull_proc.is_alive:
+                    self._pull_proc.interrupt("teardown")
+                return
+            finally:
+                self._current_meta = None
+                self._inflight -= 1
+                if self._inflight == 0 and self._drained is not None:
+                    self._drained.succeed()
+                    self._drained = None
+
+    def _pull(self, meta: Message):
+        info = meta.payload
+        writer = self.link.writer_by_name(info["writer"])
+        # Back-pressure: claim queue space *before* moving any data.
+        if info["chunk_id"] not in writer.buffer:
+            # Already pulled through a re-dispatched copy of this metadata.
+            yield self.env.timeout(0)
+            return
+        res_event = self.out_queue.reserve()
+        token = None
+        try:
+            yield res_event
+            if self.scheduler is not None:
+                token = yield self.scheduler.admit()
+            try:
+                yield self.messenger.network.rdma_get(
+                    self.node, writer.node, info["nbytes"]
+                )
+            finally:
+                if self.scheduler is not None and token is not None:
+                    self.scheduler.release(token)
+        except Interrupt:
+            self.out_queue.cancel_reservation(res_event)
+            self.cancelled_meta.append(meta)
+            return
+        if info["chunk_id"] not in writer.buffer:
+            self.out_queue.cancel_reservation(res_event)
+            return
+        chunk = writer.buffer.get(info["chunk_id"])
+        writer.on_pull_complete(info["chunk_id"])
+        # Completion notification traffic (fire-and-forget control message).
+        self.messenger.network.transfer(self.node, writer.node, PULL_DONE_BYTES)
+        self.chunks_pulled += 1
+        self.bytes_pulled += info["nbytes"]
+        self.out_queue.fulfill(res_event, chunk)
+
+    # -- teardown ---------------------------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    def drain(self):
+        """Process: fires once no pull is in flight.
+
+        Call only while upstream writers are paused, otherwise new metadata
+        can arrive and restart activity after the drain fires.
+        """
+        return self.env.process(self._drain(), name=f"drain:{self.name}")
+
+    def _drain(self):
+        if self._inflight > 0:
+            self._drained = Event(self.env)
+            yield self._drained
+        else:
+            yield self.env.timeout(0)
+        return True
+
+    def stop(self) -> List[Message]:
+        """Stop the loop; returns metadata messages left undelivered.
+
+        Call while upstream writers are paused.  Undelivered metadata —
+        inbox backlog plus the metadata of any pull cancelled mid-flight —
+        is returned so the link can re-dispatch it to surviving readers (no
+        timestep lost); the corresponding chunks remain safely in the
+        writers' buffers.
+        """
+        self.stopped = True
+        pending = [
+            m for m in self.endpoint._inbox.items
+            if m.mtype is MessageType.DATA_METADATA
+        ]
+        self.endpoint._inbox.items = [
+            m for m in self.endpoint._inbox.items
+            if m.mtype is not MessageType.DATA_METADATA
+        ]
+        if self._current_meta is not None:
+            pending.insert(0, self._current_meta)
+        if self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self.messenger.unregister(self.name)
+        return pending
+
+    def __repr__(self) -> str:
+        return f"<DataTapReader {self.name!r} pulled={self.chunks_pulled}>"

@@ -1,0 +1,173 @@
+"""DataTap writers: asynchronous, pausable producers."""
+
+from __future__ import annotations
+
+from typing import List, Optional, TYPE_CHECKING
+
+from repro.simkernel import Environment, Event
+from repro.simkernel.errors import SimulationError
+from repro.cluster.node import Node
+from repro.data import DataChunk
+from repro.datatap.buffer import StagingBuffer
+from repro.evpath.channel import Messenger
+from repro.evpath.messages import Message, MessageType
+
+if TYPE_CHECKING:
+    from repro.datatap.link import DataTapLink
+
+
+#: Wire size of a metadata push: variable descriptors, offsets, RDMA keys.
+METADATA_BYTES = 1024
+
+
+class DataTapWriter:
+    """The producer half of a DataTap link.
+
+    ``write(chunk)`` buffers the chunk locally and pushes metadata to a
+    downstream reader, returning as soon as the chunk is safely buffered —
+    the producer never waits for the data itself to move.  If the buffer is
+    full the write blocks (this is how a stalled pipeline eventually blocks
+    the application).
+
+    ``pause()`` implements the decrease-protocol requirement: after the pause
+    completes, no further metadata leaves this writer, and any in-flight
+    metadata pushes have finished, so the downstream container can be resized
+    without losing timesteps.  Buffering continues while paused — the paper
+    notes the upstream component "can move on to its processing of other
+    time steps".
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        node: Node,
+        buffer: Optional[StagingBuffer] = None,
+        name: str = "writer",
+        pause_flush_delay: float = 0.05,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.node = node
+        self.name = name
+        # Note: an empty StagingBuffer is falsy (len 0), so test identity.
+        self.buffer = (
+            buffer if buffer is not None else StagingBuffer(env, node, name=f"{name}.buf")
+        )
+        self.link: Optional["DataTapLink"] = None
+        self.pause_flush_delay = pause_flush_delay
+
+        self._paused = False
+        self._pending_meta: List[DataChunk] = []  # metadata deferred by pause
+        self._inflight_meta = 0
+        self._drained: Optional[Event] = None
+        #: monitoring
+        self.chunks_written = 0
+        self.pause_count = 0
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    @property
+    def backlog(self) -> int:
+        """Chunks buffered locally but whose metadata has not been pushed."""
+        return len(self._pending_meta)
+
+    # -- data plane -----------------------------------------------------------------
+
+    def write(self, chunk: DataChunk):
+        """Asynchronous write; the event fires once the chunk is buffered."""
+        return self.env.process(self._write(chunk), name=f"dtwrite:{self.name}")
+
+    def _write(self, chunk: DataChunk):
+        if self.link is None:
+            raise SimulationError(f"writer {self.name!r} is not attached to a link")
+        yield self.buffer.insert(chunk)
+        self.chunks_written += 1
+        if self._paused:
+            self._pending_meta.append(chunk)
+        else:
+            # Fire-and-forget metadata push; the writer does not wait.
+            self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+        return chunk
+
+    def _push_metadata(self, chunk: DataChunk):
+        reader_name = self.link.next_reader_for(self)
+        self._inflight_meta += 1
+        try:
+            meta = Message(
+                MessageType.DATA_METADATA,
+                sender=self.name,
+                payload={
+                    "chunk_id": chunk.chunk_id,
+                    "nbytes": chunk.nbytes,
+                    "natoms": chunk.natoms,
+                    "timestep": chunk.timestep,
+                    "writer": self.name,
+                    "writer_node": self.node.node_id,
+                },
+                size_bytes=METADATA_BYTES,
+            )
+            yield self.messenger.send(self.node, reader_name, meta)
+        finally:
+            self._inflight_meta -= 1
+            if self._inflight_meta == 0 and self._drained is not None:
+                self._drained.succeed()
+                self._drained = None
+
+    def on_pull_complete(self, chunk_id: int) -> None:
+        """Reader confirmed the RDMA pull; free the buffered chunk."""
+        self.buffer.release(chunk_id)
+
+    def drain_buffer(self) -> List[DataChunk]:
+        """Remove and return every buffered chunk (the offline flush path).
+
+        Used when the downstream container is pruned: the buffered chunks
+        will never be pulled, so the caller writes them to disk instead.
+        Deferred metadata is discarded with them.
+        """
+        chunks = [self.buffer.get(cid) for cid in list(self.buffer._chunks)]
+        for chunk in chunks:
+            self.buffer.release(chunk.chunk_id)
+        self._pending_meta.clear()
+        return chunks
+
+    # -- control plane ---------------------------------------------------------------
+
+    def pause(self):
+        """Process: quiesce the metadata stream.  Fires once fully paused."""
+        return self.env.process(self._pause(), name=f"pause:{self.name}")
+
+    def _pause(self):
+        self._paused = True
+        self.pause_count += 1
+        if self._inflight_meta > 0:
+            self._drained = Event(self.env)
+            yield self._drained
+        # Flush/fence delay: outstanding RDMA state on the NIC must settle
+        # before downstream teardown is safe (the cost Figure 5 measures).
+        yield self.env.timeout(self.pause_flush_delay)
+        return True
+
+    def resume(self):
+        """Process: release the pause and push deferred metadata."""
+        return self.env.process(self._resume(), name=f"resume:{self.name}")
+
+    def _resume(self):
+        if not self._paused:
+            return False
+        self._paused = False
+        pending, self._pending_meta = self._pending_meta, []
+        for chunk in pending:
+            # Skip chunks that were pulled through a re-dispatch while paused.
+            if chunk.chunk_id in self.buffer:
+                self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+        yield self.env.timeout(0)
+        return True
+
+    def __repr__(self) -> str:
+        state = "paused" if self._paused else "active"
+        return f"<DataTapWriter {self.name!r} {state} buffered={len(self.buffer)}>"

@@ -1,0 +1,37 @@
+"""EVPath-like event messaging: stones, channels, monitoring overlays.
+
+The real system uses Georgia Tech's EVPath library for two things:
+
+1. carrying the container-management *control messages* (the rounds in
+   Figure 3) between the global manager, container managers, and component
+   executables, and
+2. building the *dynamic monitoring overlays* that aggregate per-container
+   metrics up to the managers.
+
+This package reproduces that functionality on top of the simulated network:
+
+* :class:`Endpoint` — a mailbox pinned to a cluster node;
+* :class:`Stone` — an EVPath "stone": a processing vertex with a handler
+  action and output links, composable into dataflow graphs;
+* :class:`Channel` — typed point-to-point delivery between endpoints with a
+  control-message cost model;
+* :class:`OverlayTree` — a k-ary aggregation tree over a set of leaf nodes,
+  used by container monitoring.
+"""
+
+from repro.evpath.messages import Message, MessageType
+from repro.evpath.endpoint import Endpoint
+from repro.evpath.channel import Channel, Messenger
+from repro.evpath.stone import Stone, StoneGraph
+from repro.evpath.overlay import OverlayTree
+
+__all__ = [
+    "Channel",
+    "Endpoint",
+    "Message",
+    "MessageType",
+    "Messenger",
+    "OverlayTree",
+    "Stone",
+    "StoneGraph",
+]

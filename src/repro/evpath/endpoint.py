@@ -1,0 +1,69 @@
+"""Endpoints: addressable mailboxes pinned to cluster nodes."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simkernel import Environment, FilterStore
+from repro.evpath.messages import Message, MessageType
+from repro.cluster.node import Node
+
+
+class Endpoint:
+    """A named mailbox on a node.
+
+    Processes receive with ``yield endpoint.recv()`` (optionally filtered by
+    message type or predicate).  Delivery into the mailbox is done by a
+    :class:`~repro.evpath.channel.Messenger` after the simulated network
+    transfer completes.
+    """
+
+    def __init__(self, env: Environment, node: Node, name: str):
+        self.env = env
+        self.node = node
+        self.name = name
+        self._inbox = FilterStore(env, name=f"inbox:{name}")
+        #: count of messages ever delivered (monitoring)
+        self.delivered = 0
+
+    def deliver(self, message: Message):
+        """Put a message into the mailbox (called by the messenger)."""
+        self.delivered += 1
+        return self._inbox.put(message)
+
+    def recv(
+        self,
+        mtype: Optional[MessageType] = None,
+        where: Optional[Callable[[Message], bool]] = None,
+    ):
+        """Event that fires with the next matching message.
+
+        Parameters
+        ----------
+        mtype:
+            Restrict to one message type.
+        where:
+            Additional predicate over the message.
+        """
+        if mtype is None and where is None:
+            return self._inbox.get()
+
+        def matches(msg: Message) -> bool:
+            if mtype is not None and msg.mtype is not mtype:
+                return False
+            if where is not None and not where(msg):
+                return False
+            return True
+
+        return self._inbox.get(matches)
+
+    def recv_reply(self, to: Message):
+        """Event for the reply correlated with message ``to``."""
+        return self._inbox.get(lambda m: m.reply_to == to.seq)
+
+    @property
+    def pending(self) -> int:
+        return self._inbox.size
+
+    def __repr__(self) -> str:
+        return f"<Endpoint {self.name!r} node={self.node.node_id} pending={self.pending}>"

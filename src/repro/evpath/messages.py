@@ -1,0 +1,90 @@
+"""Typed control and monitoring messages.
+
+The container control protocol (Section III-D, Figure 3) consists of rounds
+of small typed messages.  Every message records its type, sender, a payload,
+and a monotonically increasing sequence number per sender so tests can assert
+ordering and the benches can count protocol rounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Optional
+
+
+class MessageType(Enum):
+    """Union of the message kinds used by the container framework."""
+
+    # Global manager -> container manager
+    INCREASE_REQUEST = "increase_request"
+    DECREASE_REQUEST = "decrease_request"
+    OFFLINE_REQUEST = "offline_request"
+    # Container manager -> component executables
+    SPAWN_REPLICA = "spawn_replica"
+    RETIRE_REPLICA = "retire_replica"
+    PAUSE_WRITERS = "pause_writers"
+    RESUME_WRITERS = "resume_writers"
+    SWITCH_OUTPUT_METHOD = "switch_output_method"
+    SET_STRIDE = "set_stride"
+    SET_HASHING = "set_hashing"
+    # Upward notifications / acks
+    ACK = "ack"
+    NACK = "nack"
+    REPLICA_READY = "replica_ready"
+    WRITERS_PAUSED = "writers_paused"
+    RESIZE_COMPLETE = "resize_complete"
+    OFFLINE_COMPLETE = "offline_complete"
+    # Metadata exchange among replicas during a resize
+    ENDPOINT_INFO = "endpoint_info"
+    ENDPOINT_INFO_ACK = "endpoint_info_ack"
+    # Monitoring
+    METRIC_REPORT = "metric_report"
+    METRIC_AGGREGATE = "metric_aggregate"
+    # Queries between managers
+    SPEEDUP_QUERY = "speedup_query"
+    SPEEDUP_REPLY = "speedup_reply"
+    # Transactions (D2T)
+    TXN_BEGIN = "txn_begin"
+    TXN_VOTE_REQUEST = "txn_vote_request"
+    TXN_VOTE = "txn_vote"
+    TXN_COMMIT = "txn_commit"
+    TXN_ABORT = "txn_abort"
+    TXN_ACK = "txn_ack"
+    # DataTap data plane
+    DATA_METADATA = "data_metadata"
+    DATA_PULL_DONE = "data_pull_done"
+
+
+_SEQ = itertools.count()
+
+#: Default wire size of a bare control message, bytes.  EVPath control
+#: messages are small FFS-encoded records.
+CONTROL_MESSAGE_BYTES = 256
+
+
+@dataclass
+class Message:
+    """A typed message with sender identity and payload.
+
+    ``size_bytes`` is the wire size charged to the network; control messages
+    default to :data:`CONTROL_MESSAGE_BYTES`, while metadata-bearing messages
+    (e.g. ENDPOINT_INFO carrying contact lists) set it explicitly.
+    """
+
+    mtype: MessageType
+    sender: str
+    payload: Any = None
+    size_bytes: int = CONTROL_MESSAGE_BYTES
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    reply_to: Optional[int] = None
+
+    def reply(self, mtype: MessageType, sender: str, payload: Any = None,
+              size_bytes: int = CONTROL_MESSAGE_BYTES) -> "Message":
+        """Construct a reply correlated to this message's sequence number."""
+        return Message(mtype=mtype, sender=sender, payload=payload,
+                       size_bytes=size_bytes, reply_to=self.seq)
+
+    def __repr__(self) -> str:
+        return f"<Msg {self.mtype.value} from={self.sender} seq={self.seq}>"

@@ -1,0 +1,129 @@
+"""Stones: EVPath's dataflow vertices.
+
+EVPath structures processing as graphs of *stones*.  Each stone carries an
+*action* — a handler, filter, or router — and zero or more output links to
+other stones (possibly on other nodes).  We reproduce the subset the paper's
+infrastructure needs: handler stones (terminal sinks), filter stones
+(predicate drops), transform stones (map), and router stones (choose output
+by function), wired into a :class:`StoneGraph` whose cross-node edges incur
+network cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.simkernel import Environment
+from repro.simkernel.errors import SimulationError
+from repro.cluster.node import Node
+from repro.evpath.channel import Messenger
+
+
+class Stone:
+    """A single dataflow vertex.
+
+    Parameters
+    ----------
+    action:
+        ``handler(event) -> None`` for sinks, ``filter(event) -> bool``,
+        ``transform(event) -> event'``, or ``router(event) -> int`` (output
+        index).  The ``kind`` parameter selects the interpretation.
+    """
+
+    VALID_KINDS = ("handler", "filter", "transform", "router")
+
+    def __init__(
+        self,
+        graph: "StoneGraph",
+        stone_id: int,
+        node: Node,
+        kind: str,
+        action: Callable[[Any], Any],
+        name: str = "",
+    ):
+        if kind not in self.VALID_KINDS:
+            raise ValueError(f"unknown stone kind {kind!r}")
+        self.graph = graph
+        self.stone_id = stone_id
+        self.node = node
+        self.kind = kind
+        self.action = action
+        self.name = name or f"stone{stone_id}"
+        self.outputs: List["Stone"] = []
+        #: events that reached this stone (monitoring)
+        self.events_in = 0
+        self.events_out = 0
+
+    def link(self, target: "Stone") -> "Stone":
+        """Append an output edge to ``target``; returns ``target`` to chain."""
+        self.outputs.append(target)
+        return target
+
+    def __repr__(self) -> str:
+        return f"<Stone {self.name!r} kind={self.kind} node={self.node.node_id}>"
+
+
+class StoneGraph:
+    """A set of stones plus the machinery to push events through them.
+
+    ``submit(stone, event, size_bytes)`` starts a process that applies the
+    stone's action and forwards results along output edges, paying network
+    cost on cross-node edges.
+    """
+
+    def __init__(self, env: Environment, messenger: Messenger):
+        self.env = env
+        self.messenger = messenger
+        self._stones: Dict[int, Stone] = {}
+        self._next_id = 0
+
+    def create_stone(
+        self,
+        node: Node,
+        kind: str,
+        action: Callable[[Any], Any],
+        name: str = "",
+    ) -> Stone:
+        stone = Stone(self, self._next_id, node, kind, action, name)
+        self._stones[self._next_id] = stone
+        self._next_id += 1
+        return stone
+
+    def submit(self, stone: Stone, event: Any, size_bytes: int = 256):
+        """Inject ``event`` at ``stone``; returns the traversal process."""
+        return self.env.process(
+            self._walk(stone, event, size_bytes), name=f"evflow@{stone.name}"
+        )
+
+    def _walk(self, stone: Stone, event: Any, size_bytes: int):
+        stone.events_in += 1
+        if stone.kind == "handler":
+            stone.action(event)
+            return event
+        if stone.kind == "filter":
+            if not stone.action(event):
+                return None
+            forwarded = event
+            targets = stone.outputs
+        elif stone.kind == "transform":
+            forwarded = stone.action(event)
+            targets = stone.outputs
+        elif stone.kind == "router":
+            index = stone.action(event)
+            if index is None:
+                return None
+            if not (0 <= index < len(stone.outputs)):
+                raise SimulationError(
+                    f"router {stone.name!r} chose output {index} of {len(stone.outputs)}"
+                )
+            forwarded = event
+            targets = [stone.outputs[index]]
+        else:  # pragma: no cover - guarded in Stone.__init__
+            raise SimulationError(f"bad stone kind {stone.kind}")
+
+        stone.events_out += len(targets)
+        for target in targets:
+            if target.node is not stone.node:
+                yield self.messenger.network.transfer(stone.node, target.node, size_bytes)
+            yield self.env.process(self._walk(target, forwarded, size_bytes))
+        return forwarded

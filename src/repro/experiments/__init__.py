@@ -1,0 +1,40 @@
+"""Canonical experiment runners: regenerate any paper table/figure.
+
+Programmatic API (each returns a JSON-serializable dict)::
+
+    from repro.experiments import run_experiment, EXPERIMENTS
+    result = run_experiment("fig7")
+
+Command line::
+
+    python -m repro.experiments fig7          # print the series/table
+    python -m repro.experiments all --json results.json
+"""
+
+from repro.experiments.figures import (
+    EXPERIMENTS,
+    run_experiment,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+    run_table2,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_table1",
+    "run_table2",
+]

@@ -1,0 +1,60 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments fig7
+    python -m repro.experiments table2 fig4 --json out.json
+    python -m repro.experiments all --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import render
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write all results to a JSON file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress terminal rendering")
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["all"]:
+        names = sorted(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}")
+
+    results = {}
+    for name in names:
+        result = run_experiment(name, seed=args.seed)
+        results[name] = result
+        if not args.quiet:
+            print(render(result))
+            print()
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(results, fh, indent=2)
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""Runner functions, one per table/figure of the paper's evaluation.
+
+Each returns a plain dict of the regenerated rows/series plus the
+management events, ready for JSON output or terminal rendering.  The
+pytest-benchmark harness under ``benchmarks/`` asserts the qualitative
+shapes; these runners are the user-facing path to the same experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.simkernel import Environment
+from repro.cluster import redsky
+from repro.containers.pipeline import PipelineBuilder, StageConfig
+from repro.evpath import Messenger
+from repro.lammps.workload import TABLE_II, WeakScalingWorkload
+from repro.smartpointer.component import SMARTPOINTER_COMPONENTS
+from repro.smartpointer.costs import ComputeModel
+from repro.transactions import TransactionManager
+
+
+def _series(pipe, scope: str, metric: str) -> List[List[float]]:
+    series = pipe.telemetry.get(scope, metric)
+    if series is None:
+        return []
+    return [[float(t), float(v)] for t, v in zip(series.times, series.values)]
+
+
+def _events(pipe) -> List[List]:
+    return [[float(t), label] for t, label in pipe.telemetry.events]
+
+
+# -- tables -----------------------------------------------------------------------
+
+
+def run_table1(**_) -> dict:
+    """Table I: SmartPointer action characteristics."""
+    rows = []
+    for name, spec in SMARTPOINTER_COMPONENTS.items():
+        rows.append({
+            "component": name,
+            "complexity": spec.complexity,
+            "compute_models": [m.value for m in spec.compute_models],
+            "dynamic_branching": spec.dynamic_branching,
+        })
+    return {"experiment": "table1", "rows": rows}
+
+
+def run_table2(**_) -> dict:
+    """Table II: weak-scaling data sizes."""
+    rows = []
+    for nodes in sorted(TABLE_II):
+        wl = WeakScalingWorkload(sim_nodes=nodes, staging_nodes=24)
+        rows.append({
+            "nodes": nodes,
+            "atoms": wl.natoms,
+            "bytes_per_step": wl.bytes_per_step,
+            "mib_per_step": round(wl.bytes_per_step / 2**20, 1),
+        })
+    return {"experiment": "table2", "rows": rows}
+
+
+# -- microbenchmarks ---------------------------------------------------------------
+
+
+def run_fig4(sizes=(1, 2, 4, 8, 16), seed: int = 0, **_) -> dict:
+    """Figure 4: time to increase container size (aprun factored out)."""
+    series = []
+    for size in sizes:
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=13 + max(sizes),
+                                 output_interval=15.0, total_steps=4)
+        stages = [
+            StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
+            StageConfig("bonds", 4, ComputeModel.ROUND_ROBIN, upstream="helper"),
+            StageConfig("csym", 3, ComputeModel.ROUND_ROBIN, upstream="bonds"),
+        ]
+        pipe = PipelineBuilder(env, wl, stages=stages, seed=seed,
+                               control_interval=10_000).build()
+
+        def do(env, pipe=pipe, size=size):
+            yield env.timeout(1)
+            yield pipe.global_manager.increase("bonds", size)
+
+        env.process(do(env))
+        pipe.run(settle=120)
+        record = pipe.tracer.of("increase")[0]
+        series.append({
+            "replicas_added": size,
+            "total_seconds": record.total,
+            "intra_container_seconds": record.breakdown.get("intra_container", 0.0),
+            "manager_seconds": record.breakdown.get("manager", 0.0),
+        })
+    return {"experiment": "fig4", "series": series}
+
+
+def run_fig5(sizes=(1, 2, 4, 8), seed: int = 0, **_) -> dict:
+    """Figure 5: time to decrease container size."""
+    series = []
+    for size in sizes:
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=24,
+                                 output_interval=15.0, total_steps=20)
+        stages = [
+            StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
+            StageConfig("bonds", 12, ComputeModel.ROUND_ROBIN, upstream="helper"),
+            StageConfig("csym", 3, ComputeModel.ROUND_ROBIN, upstream="bonds"),
+        ]
+        pipe = PipelineBuilder(env, wl, stages=stages, seed=seed,
+                               control_interval=10_000).build()
+
+        def do(env, pipe=pipe, size=size):
+            yield env.timeout(40)
+            yield pipe.global_manager.decrease("bonds", size)
+
+        env.process(do(env))
+        pipe.run(settle=120)
+        record = pipe.tracer.of("decrease")[0]
+        series.append({
+            "replicas_removed": size,
+            "total_seconds": record.total,
+            "writer_pause_seconds": record.breakdown.get("writer_pause", 0.0),
+            "manager_seconds": record.breakdown.get("manager", 0.0),
+        })
+    return {"experiment": "fig5", "series": series}
+
+
+def run_fig6(ratios=((64, 2), (128, 4), (256, 4), (512, 4), (1024, 8), (2048, 8)),
+             repeats: int = 3, **_) -> dict:
+    """Figure 6: D2T transaction time vs writer:reader ratio."""
+    series = []
+    for writers, readers in ratios:
+        env = Environment()
+        machine = redsky(env, num_nodes=writers + readers + 1)
+        messenger = Messenger(env, machine.network)
+        tm = TransactionManager(env, messenger, machine.nodes[-1])
+        wg = tm.build_group("writers", machine.nodes[:writers], fanout=8)
+        rg = tm.build_group("readers", machine.nodes[writers:writers + readers])
+        outcomes = []
+
+        def proc(env):
+            for _ in range(repeats):
+                out = yield tm.run([wg, rg])
+                outcomes.append(out)
+
+        env.process(proc(env))
+        env.run(until=600)
+        series.append({
+            "writers": writers,
+            "readers": readers,
+            "committed": all(o.committed for o in outcomes),
+            "mean_seconds": float(np.mean([o.total for o in outcomes])),
+        })
+    return {"experiment": "fig6", "series": series}
+
+
+# -- the latency-management experiments ----------------------------------------------
+
+
+def _run_pipeline(sim_nodes: int, staging_nodes: int, spare: int,
+                  steps: int, seed: int, managed: bool = True,
+                  **builder_kwargs) -> dict:
+    env = Environment()
+    wl = WeakScalingWorkload(
+        sim_nodes=sim_nodes, staging_nodes=staging_nodes,
+        spare_staging_nodes=spare, output_interval=15.0, total_steps=steps,
+    )
+    builder_kwargs.setdefault("control_interval", 30.0 if managed else 1e9)
+    pipe = PipelineBuilder(env, wl, seed=seed, **builder_kwargs).build()
+    finished = pipe.run(settle=300)
+    return {
+        "finished": finished,
+        "blocked_seconds": pipe.driver.total_blocked_time,
+        "actions": list(pipe.global_manager.actions_taken),
+        "events": _events(pipe),
+        "containers": {
+            name: {
+                "units": c.units,
+                "offline": c.offline,
+                "completions": c.completions,
+            }
+            for name, c in pipe.containers.items()
+        },
+        "bonds_latency_by_step": _series(pipe, "bonds", "latency_by_step"),
+        "end_to_end": _series(pipe, "pipeline", "end_to_end"),
+        "bonds_buffer_occupancy": _series(pipe, "bonds", "buffer_occupancy"),
+    }
+
+
+def run_fig7(seed: int = 1, steps: int = 40, include_baseline: bool = True, **_) -> dict:
+    """Figure 7: 256 sim + 13 staging, steal from the over-provisioned Helper."""
+    result = {"experiment": "fig7",
+              "managed": _run_pipeline(256, 13, 0, steps, seed, managed=True)}
+    if include_baseline:
+        result["unmanaged"] = _run_pipeline(256, 13, 0, steps, seed, managed=False)
+    return result
+
+
+def run_fig8(seed: int = 1, steps: int = 40, **_) -> dict:
+    """Figure 8: 512 sim + 24 staging (4 spare), insufficient but survivable."""
+    return {"experiment": "fig8",
+            "managed": _run_pipeline(512, 24, 4, steps, seed, managed=True)}
+
+
+def run_fig9(seed: int = 1, steps: int = 60, **_) -> dict:
+    """Figure 9: 1024 sim + 24 staging (4 spare), offline cascade."""
+    return {"experiment": "fig9",
+            "managed": _run_pipeline(1024, 24, 4, steps, seed, managed=True)}
+
+
+def run_fig10(seed: int = 1, **_) -> dict:
+    """Figure 10: end-to-end latency (paper config + 640-node companion)."""
+    companion_stages = [
+        StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
+        StageConfig("bonds", 5, ComputeModel.ROUND_ROBIN, upstream="helper"),
+        StageConfig("csym", 6, ComputeModel.ROUND_ROBIN, upstream="bonds"),
+        StageConfig("cna", 3, ComputeModel.ROUND_ROBIN, upstream="bonds",
+                    standby=True),
+    ]
+    return {
+        "experiment": "fig10",
+        "paper_config_1024": _run_pipeline(1024, 24, 4, 60, seed),
+        "companion_640": _run_pipeline(
+            640, 24, 4, 60, seed,
+            stages=companion_stages, overflow_occupancy=0.25,
+        ),
+    }
+
+
+EXPERIMENTS: Dict[str, callable] = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+}
+
+
+def run_experiment(name: str, **kwargs) -> dict:
+    """Run one experiment by id (``table1``..``fig10``)."""
+    try:
+        runner = EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(**kwargs)

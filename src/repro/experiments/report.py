@@ -1,0 +1,79 @@
+"""Terminal rendering for experiment results: tables and ASCII sparklines."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """An 8-level unicode sparkline, resampled to ``width`` columns."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        # Simple decimation keeping extrema visible per bucket.
+        bucket = len(values) / width
+        resampled = []
+        for i in range(width):
+            segment = values[int(i * bucket): max(int((i + 1) * bucket), int(i * bucket) + 1)]
+            resampled.append(max(segment))
+        values = resampled
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    # Treat numerically flat series as flat (float jitter otherwise renders
+    # as full-scale noise).
+    if span <= 1e-6 * max(abs(hi), abs(lo), 1.0):
+        return _SPARK[0] * len(values)
+    return "".join(_SPARK[int((v - lo) / span * (len(_SPARK) - 1))] for v in values)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render(result: Dict[str, Any]) -> str:
+    """Human-readable rendering of a runner result dict."""
+    name = result.get("experiment", "?")
+    out: List[str] = [f"== {name} =="]
+    if "rows" in result:
+        rows = result["rows"]
+        headers = list(rows[0].keys())
+        out.append(format_table(headers, [[r[h] for h in headers] for r in rows]))
+        return "\n".join(out)
+    if "series" in result:
+        series = result["series"]
+        headers = list(series[0].keys())
+        out.append(format_table(headers, [[r[h] for h in headers] for r in series]))
+        return "\n".join(out)
+    for key, value in result.items():
+        if key == "experiment":
+            continue
+        if isinstance(value, dict) and "events" in value:
+            out.append(f"\n-- {key} --")
+            out.append(f"finished={value['finished']}  "
+                       f"blocked={value['blocked_seconds']:.1f}s")
+            for t, label in value["events"]:
+                out.append(f"  t={t:8.1f}s  {label}")
+            for metric in ("bonds_latency_by_step", "end_to_end"):
+                points = value.get(metric) or []
+                if points:
+                    values = [v for _, v in points]
+                    out.append(f"  {metric}: {sparkline(values)}  "
+                               f"[{min(values):.0f} .. {max(values):.0f}]s")
+            containers = value.get("containers", {})
+            rows = [[c, info["units"], info["offline"], info["completions"]]
+                    for c, info in containers.items()]
+            out.append(format_table(["container", "units", "offline", "done"], rows))
+    return "\n".join(out)

@@ -1,0 +1,40 @@
+"""A miniature LAMMPS: real molecular dynamics plus a scaled DES driver.
+
+Two layers, per the substitution rule in DESIGN.md:
+
+1. **Real physics** (laptop scale): Lennard-Jones crystals on fcc/hex
+   lattices, cell-list neighbour search, velocity-Verlet integration, and a
+   notched-plate tensile test that genuinely forms a crack — the
+   application-level event the paper's pipeline reacts to.  The SmartPointer
+   kernels run on these real snapshots in the examples and tests.
+
+2. **DES driver** (Franklin scale): a simulated LAMMPS application emitting
+   Table II data volumes on the paper's 15-second output cadence through
+   DataTap writers, used by the Figure 7–10 experiments where only timing
+   matters.
+"""
+
+from repro.lammps.lattice import fcc_lattice, hex_lattice, notch
+from repro.lammps.potential import LennardJones
+from repro.lammps.neighbor import CellList, neighbor_pairs
+from repro.lammps.md import MDSystem, VelocityVerlet
+from repro.lammps.crack import CrackExperiment, broken_bond_fraction
+from repro.lammps.workload import TABLE_II, WeakScalingWorkload, atoms_for_nodes
+from repro.lammps.driver import LammpsDriver
+
+__all__ = [
+    "CellList",
+    "CrackExperiment",
+    "LammpsDriver",
+    "LennardJones",
+    "MDSystem",
+    "TABLE_II",
+    "VelocityVerlet",
+    "WeakScalingWorkload",
+    "atoms_for_nodes",
+    "broken_bond_fraction",
+    "fcc_lattice",
+    "hex_lattice",
+    "neighbor_pairs",
+    "notch",
+]

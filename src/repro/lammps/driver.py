@@ -1,0 +1,113 @@
+"""The simulated LAMMPS application inside the DES.
+
+The driver models the parallel simulation as seen by the I/O pipeline: every
+``output_interval`` seconds of computation it emits one timestep of output —
+``bytes_per_step`` split across its I/O aggregator writers — through the
+ADIOS/DataTap path.  Writes are asynchronous, so the application only stalls
+when the writer-side staging buffers are full; that stall time is recorded as
+``blocked_time`` (the "application blocking" the containers runtime must
+prevent).
+
+A configurable *crack step* marks all chunks from that step onward with
+``payload={'crack': True}``: the data-dependent event that triggers the
+SmartPointer pipeline's dynamic branch (CSym detects the break, Bonds hands
+off to CNA).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simkernel import Environment, Event
+from repro.data import DataChunk
+from repro.datatap.writer import DataTapWriter
+from repro.datatap.scheduling import PullScheduler
+from repro.lammps.workload import WeakScalingWorkload
+
+
+class LammpsDriver:
+    """Emits weak-scaling output through DataTap writers on a cadence."""
+
+    def __init__(
+        self,
+        env: Environment,
+        writers: List[DataTapWriter],
+        workload: WeakScalingWorkload,
+        crack_step: Optional[int] = None,
+        pull_scheduler: Optional[PullScheduler] = None,
+        write_phase_duration: float = 0.5,
+    ):
+        if not writers:
+            raise ValueError("driver needs at least one writer")
+        self.env = env
+        self.writers = writers
+        self.workload = workload
+        self.crack_step = crack_step
+        self.pull_scheduler = pull_scheduler
+        self.write_phase_duration = write_phase_duration
+
+        #: fires when all steps have been emitted
+        self.finished = Event(env)
+        #: time the application spent blocked on full staging buffers
+        #: (completed waits only; see :attr:`total_blocked_time`)
+        self.blocked_time = 0.0
+        self._write_started: Optional[float] = None
+        #: emit wall-clock time of each output step
+        self.emit_times: List[float] = []
+        self._proc = env.process(self._run(), name="lammps")
+
+    @property
+    def steps_emitted(self) -> int:
+        return len(self.emit_times)
+
+    @property
+    def is_blocked(self) -> bool:
+        """True while an output write is stalled on full staging buffers."""
+        return (
+            self._write_started is not None
+            and self.env.now - self._write_started > self.write_phase_duration
+        )
+
+    @property
+    def total_blocked_time(self) -> float:
+        """Blocked time including a still-ongoing stall (a fully wedged
+        pipeline otherwise reports zero because the write never returns)."""
+        total = self.blocked_time
+        if self._write_started is not None:
+            total += max(
+                0.0, self.env.now - self._write_started - self.write_phase_duration
+            )
+        return total
+
+    def _run(self):
+        wl = self.workload
+        per_writer = wl.bytes_per_step / len(self.writers)
+        atoms_per_writer = wl.natoms // len(self.writers)
+        for step in range(wl.total_steps):
+            # Compute phase between outputs.
+            yield self.env.timeout(wl.output_interval)
+
+            cracked = self.crack_step is not None and step >= self.crack_step
+            if self.pull_scheduler is not None:
+                self.pull_scheduler.output_phase_begin()
+            write_start = self.env.now
+            self._write_started = write_start
+            writes = []
+            for writer in self.writers:
+                chunk = DataChunk(
+                    timestep=step,
+                    nbytes=per_writer,
+                    natoms=atoms_per_writer,
+                    payload={"crack": cracked},
+                    created_at=self.env.now,
+                )
+                writes.append(writer.write(chunk))
+            yield self.env.all_of(writes)
+            elapsed = self.env.now - write_start
+            self._write_started = None
+            # Anything beyond the nominal local-buffering cost is blocking.
+            self.blocked_time += max(0.0, elapsed - self.write_phase_duration)
+            if self.pull_scheduler is not None:
+                self.pull_scheduler.output_phase_end()
+            self.emit_times.append(self.env.now)
+        self.finished.succeed(self.env.now)

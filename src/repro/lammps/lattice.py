@@ -1,0 +1,92 @@
+"""Crystal lattice generation: fcc (3-D) and hexagonal (2-D), with notches.
+
+All geometry is vectorized NumPy; positions are float64 arrays of shape
+``(n, dim)``.  Lattice constants are in reduced Lennard-Jones units: the
+equilibrium nearest-neighbour distance of an LJ solid is ``r0 = 2^(1/6) σ``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: Equilibrium LJ pair separation (sigma = 1).
+R0 = 2.0 ** (1.0 / 6.0)
+
+
+def hex_lattice(nx: int, ny: int, spacing: float = R0) -> Tuple[np.ndarray, np.ndarray]:
+    """A 2-D triangular (hexagonal close-packed) lattice.
+
+    Returns ``(positions, box)`` where ``box`` is the rectangular extent
+    ``[[xmin, xmax], [ymin, ymax]]``.  Rows are offset by half a spacing and
+    separated by ``spacing * sqrt(3)/2``, giving six nearest neighbours per
+    interior atom.
+    """
+    if nx < 1 or ny < 1:
+        raise ValueError(f"lattice dims must be positive, got {nx}x{ny}")
+    row_height = spacing * np.sqrt(3.0) / 2.0
+    ix = np.arange(nx)
+    iy = np.arange(ny)
+    gx, gy = np.meshgrid(ix, iy, indexing="ij")
+    x = gx * spacing + (gy % 2) * (spacing / 2.0)
+    y = gy * row_height
+    positions = np.column_stack([x.ravel(), y.ravel()]).astype(np.float64)
+    box = np.array(
+        [
+            [positions[:, 0].min(), positions[:, 0].max()],
+            [positions[:, 1].min(), positions[:, 1].max()],
+        ]
+    )
+    return positions, box
+
+
+def fcc_lattice(nx: int, ny: int, nz: int, a: float = R0 * np.sqrt(2.0)) -> Tuple[np.ndarray, np.ndarray]:
+    """A 3-D face-centred-cubic lattice of ``nx*ny*nz`` unit cells.
+
+    ``a`` is the cubic cell edge; the default gives nearest-neighbour
+    distance ``a/sqrt(2) = R0``, the LJ equilibrium spacing.  Returns
+    ``(positions, box)`` with 4 atoms per cell.
+    """
+    if min(nx, ny, nz) < 1:
+        raise ValueError(f"lattice dims must be positive, got {nx}x{ny}x{nz}")
+    basis = np.array(
+        [[0.0, 0.0, 0.0], [0.5, 0.5, 0.0], [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]]
+    )
+    cells = np.stack(
+        np.meshgrid(np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"),
+        axis=-1,
+    ).reshape(-1, 3)
+    positions = ((cells[:, None, :] + basis[None, :, :]).reshape(-1, 3) * a).astype(np.float64)
+    box = np.array([[0.0, nx * a], [0.0, ny * a], [0.0, nz * a]])
+    return positions, box
+
+
+def notch(
+    positions: np.ndarray,
+    tip: np.ndarray,
+    length: float,
+    half_width: float,
+    direction: int = 0,
+) -> np.ndarray:
+    """Remove atoms inside a wedge-shaped notch; returns the kept positions.
+
+    The notch is a slot entering from the low-``direction`` side, ending at
+    ``tip``: atoms with ``x[direction] < tip[direction]`` and within
+    ``half_width`` of the tip in the perpendicular coordinate(s) are removed.
+    A notch concentrates stress at its tip, which is where the crack
+    nucleates under tension.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    tip = np.asarray(tip, dtype=np.float64)
+    dim = positions.shape[1]
+    if tip.shape != (dim,):
+        raise ValueError(f"tip must have shape ({dim},), got {tip.shape}")
+    if length <= 0 or half_width <= 0:
+        raise ValueError("length and half_width must be positive")
+    along = positions[:, direction]
+    inside_len = (along >= tip[direction] - length) & (along <= tip[direction])
+    perp = np.delete(positions, direction, axis=1) - np.delete(tip, direction)
+    inside_wid = np.all(np.abs(perp) <= half_width, axis=1)
+    keep = ~(inside_len & inside_wid)
+    return positions[keep]

@@ -1,0 +1,63 @@
+"""Lennard-Jones pair potential, vectorized over pair lists."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+class LennardJones:
+    """Truncated-and-shifted 12-6 Lennard-Jones potential.
+
+    ``V(r) = 4 eps [ (sigma/r)^12 - (sigma/r)^6 ] - V(rc)`` for ``r < rc``.
+    Reduced units throughout (eps = sigma = mass = 1 by default).
+    """
+
+    def __init__(self, epsilon: float = 1.0, sigma: float = 1.0, cutoff: float = 2.5):
+        if epsilon <= 0 or sigma <= 0 or cutoff <= 0:
+            raise ValueError("epsilon, sigma and cutoff must be positive")
+        self.epsilon = float(epsilon)
+        self.sigma = float(sigma)
+        self.cutoff = float(cutoff)
+        sr6 = (sigma / cutoff) ** 6
+        self._shift = 4.0 * epsilon * (sr6 * sr6 - sr6)
+
+    def energy_forces(
+        self, positions: np.ndarray, pairs: np.ndarray
+    ) -> Tuple[float, np.ndarray]:
+        """Potential energy and per-atom forces for the given pair list.
+
+        ``pairs`` is an ``(m, 2)`` index array (as from the neighbour
+        modules); pairs beyond the cutoff contribute nothing.
+        """
+        positions = np.asarray(positions, dtype=np.float64)
+        forces = np.zeros_like(positions)
+        if len(pairs) == 0:
+            return 0.0, forces
+
+        i, j = pairs[:, 0], pairs[:, 1]
+        rij = positions[i] - positions[j]
+        r2 = np.einsum("ij,ij->i", rij, rij)
+        within = r2 <= self.cutoff * self.cutoff
+        if not within.any():
+            return 0.0, forces
+        i, j, rij, r2 = i[within], j[within], rij[within], r2[within]
+
+        inv_r2 = (self.sigma * self.sigma) / r2
+        inv_r6 = inv_r2 * inv_r2 * inv_r2
+        inv_r12 = inv_r6 * inv_r6
+        energy = float(np.sum(4.0 * self.epsilon * (inv_r12 - inv_r6) - self._shift))
+        # dV/dr * (1/r) for the pair force vector f_i = coeff * rij
+        coeff = (24.0 * self.epsilon * (2.0 * inv_r12 - inv_r6)) / r2
+        fij = coeff[:, None] * rij
+        np.add.at(forces, i, fij)
+        np.add.at(forces, j, -fij)
+        return energy, forces
+
+    def pair_energy(self, r: np.ndarray) -> np.ndarray:
+        """Pair energy at separations ``r`` (vectorized; 0 beyond cutoff)."""
+        r = np.asarray(r, dtype=np.float64)
+        sr6 = (self.sigma / r) ** 6
+        e = 4.0 * self.epsilon * (sr6 * sr6 - sr6) - self._shift
+        return np.where(r <= self.cutoff, e, 0.0)

@@ -1,0 +1,85 @@
+"""Weak-scaling workloads matching Table II of the paper.
+
+Table II (node count -> atoms -> output data size per timestep)::
+
+    256    8,819,989   67 MB
+    512   17,639,979  134.6 MB
+    1024  35,279,958  269.2 MB
+
+The atom counts scale almost exactly linearly (34,453 atoms/node) and the
+output is 8 bytes per atom (the sizes are MiB: 134.6 MiB / 17,639,979 atoms
+= 8.000 B).  The workload generator reproduces the table exactly at the
+tabulated node counts and interpolates the same ratios elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Exact rows from Table II: node count -> (atoms, data bytes per timestep).
+TABLE_II: Dict[int, tuple] = {
+    256: (8_819_989, 67 * 2**20),
+    512: (17_639_979, 134.6 * 2**20),
+    1024: (35_279_958, 269.2 * 2**20),
+}
+
+#: Atoms per simulation node implied by the table.
+ATOMS_PER_NODE = 8_819_989 / 256
+
+#: Output bytes per atom implied by the table.
+BYTES_PER_ATOM = (134.6 * 2**20) / 17_639_979
+
+
+def atoms_for_nodes(node_count: int) -> int:
+    """Atom count for a weak-scaling run on ``node_count`` simulation nodes."""
+    if node_count <= 0:
+        raise ValueError(f"node_count must be positive, got {node_count}")
+    if node_count in TABLE_II:
+        return TABLE_II[node_count][0]
+    return round(node_count * ATOMS_PER_NODE)
+
+
+def output_bytes_for_atoms(natoms: int) -> float:
+    """Per-timestep output size for ``natoms`` atoms."""
+    if natoms < 0:
+        raise ValueError("natoms must be non-negative")
+    return natoms * BYTES_PER_ATOM
+
+
+@dataclass(frozen=True)
+class WeakScalingWorkload:
+    """One run configuration of the paper's weak-scaling experiments.
+
+    ``output_interval`` defaults to the stressed cadence the latency
+    experiments use: "LAMMPS output steps are generated more frequently than
+    normal, every 15 seconds".
+    """
+
+    sim_nodes: int
+    staging_nodes: int
+    spare_staging_nodes: int = 0
+    output_interval: float = 15.0
+    total_steps: int = 40
+
+    def __post_init__(self):
+        if self.sim_nodes <= 0 or self.staging_nodes <= 0:
+            raise ValueError("node counts must be positive")
+        if self.spare_staging_nodes < 0 or self.spare_staging_nodes > self.staging_nodes:
+            raise ValueError("spare nodes must be within the staging allocation")
+        if self.output_interval <= 0:
+            raise ValueError("output_interval must be positive")
+
+    @property
+    def natoms(self) -> int:
+        return atoms_for_nodes(self.sim_nodes)
+
+    @property
+    def bytes_per_step(self) -> float:
+        return output_bytes_for_atoms(self.natoms)
+
+
+#: The three staging configurations of Figures 7-9.
+FIGURE_7 = WeakScalingWorkload(sim_nodes=256, staging_nodes=13, spare_staging_nodes=0)
+FIGURE_8 = WeakScalingWorkload(sim_nodes=512, staging_nodes=24, spare_staging_nodes=4)
+FIGURE_9 = WeakScalingWorkload(sim_nodes=1024, staging_nodes=24, spare_staging_nodes=4)

@@ -1,0 +1,52 @@
+"""Bottleneck detection over per-container metrics."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+def find_bottleneck(latencies: Dict[str, Optional[float]]) -> Optional[str]:
+    """The paper's policy: the container with the longest average latency.
+
+    Containers without observations yet (None) are skipped.  Returns None if
+    nothing has reported.
+    """
+    best_name, best_value = None, -1.0
+    for name, latency in latencies.items():
+        if latency is not None and latency > best_value:
+            best_name, best_value = name, latency
+    return best_name
+
+
+def queue_growth_rate(samples: Sequence[Tuple[float, float]]) -> float:
+    """Slope of queue length (or buffer occupancy) vs time.
+
+    A sustained positive slope under a fixed arrival rate means the
+    container cannot keep up; extrapolating it against remaining capacity
+    predicts the overflow the Figure 9 runtime acts on.
+    """
+    if len(samples) < 2:
+        return 0.0
+    (t0, v0), (t1, v1) = samples[0], samples[-1]
+    if t1 <= t0:
+        return 0.0
+    return (v1 - v0) / (t1 - t0)
+
+
+def predict_overflow_time(
+    samples: Sequence[Tuple[float, float]], capacity: float
+) -> Optional[float]:
+    """Extrapolated time at which occupancy reaches ``capacity``.
+
+    None when the trend is flat/decreasing or capacity already exceeded
+    information is insufficient.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    rate = queue_growth_rate(samples)
+    if rate <= 0 or not samples:
+        return None
+    t_last, v_last = samples[-1]
+    if v_last >= capacity:
+        return t_last
+    return t_last + (capacity - v_last) / rate

@@ -1,0 +1,170 @@
+"""Post-processing of offline-written pipeline data.
+
+When the containers runtime prunes part of a pipeline, the stored data "will
+be labeled with its data processing provenance.  This makes it possible to
+keep track of which analytic operations have been performed on the data and
+which operations need to be performed in the future" (Section III-D).
+
+This module is that future: given the canonical pipeline order and a file's
+provenance attribute, it computes the remaining actions, and — for real
+BP-lite files holding atom data — runs the real SmartPointer kernels to
+complete them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adios.bp import read_bp, write_bp
+from repro.adios.filesystem import FileRecord
+from repro.lammps.crack import BOND_CUTOFF
+from repro.smartpointer.bonds import bonds_adjacency
+from repro.smartpointer.cna import common_neighbor_analysis
+from repro.smartpointer.csym import central_symmetry
+
+#: The canonical analysis order of the LAMMPS/SmartPointer pipeline.
+PIPELINE_ORDER = ("helper", "bonds", "csym", "cna")
+
+
+def remaining_actions(
+    provenance: Sequence[str],
+    pipeline: Sequence[str] = PIPELINE_ORDER,
+) -> List[str]:
+    """Actions still to apply, given what ``provenance`` says was done.
+
+    Provenance entries must form a prefix-consistent subsequence of the
+    pipeline (the runtime only ever applies actions in order); anything
+    after the last applied action remains.  The csym/cna fork counts either
+    branch as covering the labeling step.
+    """
+    applied = [p for p in provenance if p in pipeline]
+    if not applied:
+        return list(pipeline)
+    last = max(pipeline.index(p) for p in applied)
+    remaining = [p for p in pipeline[last + 1:]]
+    # The CSym -> CNA fork: once CNA ran, CSym is moot and vice versa only
+    # pre-crack; conservatively keep both unless one of them ran.
+    if "cna" in applied and "csym" in remaining:
+        remaining.remove("csym")
+    return remaining
+
+
+@dataclass
+class BacklogEntry:
+    """One offline file and the work it still needs."""
+
+    name: str
+    timestep: int
+    provenance: List[str]
+    remaining: List[str]
+
+
+def analysis_backlog(
+    records: Sequence[FileRecord],
+    pipeline: Sequence[str] = PIPELINE_ORDER,
+) -> List[BacklogEntry]:
+    """Scan parallel-file-system records into a per-timestep work list.
+
+    When several records exist for one timestep (e.g. a stranded chunk and a
+    flushed buffer copy), the most-processed one wins.
+    """
+    best: Dict[int, BacklogEntry] = {}
+    for record in records:
+        provenance = list(record.attributes.get("provenance", []))
+        timestep = record.attributes.get("timestep")
+        if timestep is None:
+            continue
+        entry = BacklogEntry(
+            name=record.name,
+            timestep=int(timestep),
+            provenance=provenance,
+            remaining=remaining_actions(provenance, pipeline),
+        )
+        current = best.get(entry.timestep)
+        if current is None or len(entry.remaining) < len(current.remaining):
+            best[entry.timestep] = entry
+    return [best[ts] for ts in sorted(best)]
+
+
+# -- real-data completion ---------------------------------------------------------
+
+
+def complete_bp_file(
+    path: Path,
+    out_path: Optional[Path] = None,
+    cutoff: float = BOND_CUTOFF,
+    num_neighbors: int = 6,
+) -> Tuple[Path, List[str]]:
+    """Apply the remaining SmartPointer actions to a real BP-lite file.
+
+    The file must contain atom coordinates (``x``/``y`` columns, or an
+    ``(n, dim)`` ``positions`` array).  Results are written next to the
+    input (or to ``out_path``) with updated provenance.  Returns the output
+    path and the list of actions applied.
+    """
+    variables, attributes = read_bp(path)
+    provenance = list(attributes.get("provenance", []))
+    todo = remaining_actions(provenance)
+    if not todo:
+        return path, []
+
+    if "positions" in variables:
+        positions = np.asarray(variables["positions"], dtype=np.float64)
+    elif "x" in variables and "y" in variables:
+        positions = np.column_stack([variables["x"], variables["y"]])
+    else:
+        raise ValueError(f"{path}: no atom coordinates to analyze")
+
+    applied: List[str] = []
+    outputs = dict(variables)
+    pairs = None
+    if "bonds" in outputs:
+        pairs = np.asarray(outputs["bonds"], dtype=np.int64)
+
+    for action in todo:
+        if action == "helper":
+            # Aggregation already happened by definition of a single file.
+            applied.append(action)
+        elif action == "bonds":
+            pairs = bonds_adjacency(positions, cutoff, method="celllist")
+            outputs["bonds"] = pairs.astype(np.int64)
+            applied.append(action)
+        elif action == "csym":
+            csp = central_symmetry(positions, num_neighbors=num_neighbors,
+                                   cutoff=cutoff * 1.1)
+            outputs["csp"] = csp
+            applied.append(action)
+        elif action == "cna":
+            if pairs is None:
+                pairs = bonds_adjacency(positions, cutoff, method="celllist")
+                outputs["bonds"] = pairs.astype(np.int64)
+            outputs["cna_labels"] = common_neighbor_analysis(pairs, len(positions))
+            applied.append(action)
+        else:
+            raise ValueError(f"unknown pipeline action {action!r}")
+
+    new_attrs = dict(attributes)
+    new_attrs["provenance"] = provenance + applied
+    new_attrs["completed_offline"] = True
+    target = out_path or path.with_suffix(".complete.bp")
+    write_bp(target, outputs, new_attrs)
+    return target, applied
+
+
+def complete_directory(directory: Path, pattern: str = "*.bp") -> List[Tuple[Path, List[str]]]:
+    """Complete every incomplete BP-lite file in ``directory``."""
+    results = []
+    for path in sorted(Path(directory).glob(pattern)):
+        if ".complete." in path.name:
+            continue
+        if path.with_suffix(".complete.bp").exists():
+            continue  # already completed on a previous run
+        _, attributes = read_bp(path)
+        if not remaining_actions(attributes.get("provenance", [])):
+            continue
+        results.append(complete_bp_file(path))
+    return results

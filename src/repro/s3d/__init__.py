@@ -1,0 +1,26 @@
+"""A miniature S3D: combustion fields with real flame-front physics.
+
+The paper's "current work" (Section I) applies containers to "the S3D
+combustion modeling code and the numerous analysis and visualization
+components developed for it to perform flame front tracking and
+visualization."  This package provides that second application substrate:
+
+* :class:`ReactionDiffusion` — an explicit finite-difference solver for the
+  Fisher-KPP equation ``u_t = D \\nabla^2 u + r u (1 - u)`` on a 2-D grid:
+  the classic model of a propagating combustion/reaction front, with a
+  known traveling-wave speed ``c = 2 sqrt(D r)`` the tests verify;
+* :func:`extract_front` — isoline extraction (the front is the ``u = 0.5``
+  level set), the flame-front analysis component;
+* :class:`FrontTracker` — front position/speed/area history, the tracking
+  component (stateful, like the fragment tracker).
+"""
+
+from repro.s3d.solver import ReactionDiffusion
+from repro.s3d.front import FrontTracker, extract_front, front_position
+
+__all__ = [
+    "FrontTracker",
+    "ReactionDiffusion",
+    "extract_front",
+    "front_position",
+]

@@ -1,0 +1,43 @@
+"""Container component specs for the S3D flame-front pipeline.
+
+The DES-level S3D pipeline mirrors the LAMMPS one: a TREE reducer gathers
+the distributed field, a front-extraction stage scans it, and a stateful
+tracking stage maintains the front history.  Cost bases are calibrated the
+same way as the SmartPointer set: the extraction stage is the potential
+bottleneck at large grids.
+"""
+
+from __future__ import annotations
+
+from repro.smartpointer.component import ComponentSpec
+from repro.smartpointer.costs import ComputeModel, CostModel
+
+S3D_COMPONENTS = {
+    "reduce": ComponentSpec(
+        name="reduce",
+        complexity="O(n)",
+        compute_models=(ComputeModel.TREE,),
+        dynamic_branching=False,
+        cost=CostModel("reduce", base_seconds=16.0, exponent=1.0),
+        output_ratio=1.0,
+        essential=True,
+    ),
+    "front": ComponentSpec(
+        name="front",
+        complexity="O(n)",
+        compute_models=(ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN),
+        dynamic_branching=False,
+        cost=CostModel("front", base_seconds=65.0, exponent=1.2),
+        output_ratio=0.05,  # the isoline is one value per grid row
+    ),
+    "track": ComponentSpec(
+        name="track",
+        complexity="O(n)",
+        compute_models=(ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN),
+        dynamic_branching=False,
+        cost=CostModel("track", base_seconds=8.0, exponent=0.5),
+        output_ratio=0.05,
+        stateful=True,       # the front history migrates on resizes
+        state_ratio=0.02,
+    ),
+}

@@ -1,0 +1,112 @@
+"""Flame-front extraction and tracking (the S3D analysis components)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+def extract_front(u: np.ndarray, level: float = 0.5, dx: float = 1.0) -> np.ndarray:
+    """Per-row front x-coordinate of the ``u = level`` isoline.
+
+    For a left-to-right front, each grid row crosses the level once; the
+    crossing is located by linear interpolation between the bracketing
+    cells.  Rows that never cross return NaN (front not present / already
+    past the domain).  Returns an array of shape ``(ny,)``.
+    """
+    if u.ndim != 2:
+        raise ValueError("field must be 2-D")
+    if not (0.0 < level < 1.0):
+        raise ValueError("level must be inside (0, 1)")
+    ny, nx = u.shape
+    positions = np.full(ny, np.nan)
+    above = u >= level
+    # The last column index where u >= level, per row (front trailing edge).
+    any_above = above.any(axis=1)
+    all_above = above.all(axis=1)
+    rows = np.where(any_above & ~all_above)[0]
+    for row in rows:
+        idx = np.where(above[row])[0][-1]
+        if idx + 1 >= nx:
+            positions[row] = idx * dx
+            continue
+        u0, u1 = u[row, idx], u[row, idx + 1]
+        if u0 == u1:
+            frac = 0.0
+        else:
+            frac = (u0 - level) / (u0 - u1)
+        positions[row] = (idx + frac) * dx
+    positions[all_above] = (nx - 1) * dx
+    return positions
+
+
+def front_position(u: np.ndarray, level: float = 0.5, dx: float = 1.0) -> float:
+    """Mean front x-coordinate (NaN rows excluded; NaN if no front)."""
+    positions = extract_front(u, level, dx)
+    finite = positions[np.isfinite(positions)]
+    return float(finite.mean()) if len(finite) else float("nan")
+
+
+@dataclass
+class FrontSample:
+    time: float
+    position: float
+    speed: Optional[float]
+    burnt_fraction: float
+    wrinkling: float  # std of per-row positions: front roughness
+
+
+class FrontTracker:
+    """Accumulates front position history and derives speed (stateful)."""
+
+    def __init__(self, level: float = 0.5, dx: float = 1.0):
+        if not (0.0 < level < 1.0):
+            raise ValueError("level must be inside (0, 1)")
+        self.level = level
+        self.dx = dx
+        self.samples: List[FrontSample] = []
+
+    def update(self, time: float, u: np.ndarray) -> FrontSample:
+        positions = extract_front(u, self.level, self.dx)
+        finite = positions[np.isfinite(positions)]
+        position = float(finite.mean()) if len(finite) else float("nan")
+        wrinkling = float(finite.std()) if len(finite) else float("nan")
+        speed = None
+        if self.samples and np.isfinite(position):
+            prev = self.samples[-1]
+            if np.isfinite(prev.position) and time > prev.time:
+                speed = (position - prev.position) / (time - prev.time)
+        sample = FrontSample(
+            time=time,
+            position=position,
+            speed=speed,
+            burnt_fraction=float(u.mean()),
+            wrinkling=wrinkling,
+        )
+        self.samples.append(sample)
+        return sample
+
+    def mean_speed(self, skip: int = 1) -> Optional[float]:
+        """Average front speed over the recorded history.
+
+        ``skip`` drops the initial samples (the front needs time to relax
+        onto the traveling-wave profile before its speed is meaningful).
+        """
+        speeds = [s.speed for s in self.samples[skip:] if s.speed is not None]
+        return float(np.mean(speeds)) if speeds else None
+
+    # -- state snapshot (container migration support) ---------------------------------
+
+    def state_bytes(self) -> int:
+        return 64 * len(self.samples)
+
+    def snapshot(self) -> dict:
+        return {"level": self.level, "dx": self.dx, "samples": list(self.samples)}
+
+    @classmethod
+    def restore(cls, state: dict) -> "FrontTracker":
+        tracker = cls(level=state["level"], dx=state["dx"])
+        tracker.samples = list(state["samples"])
+        return tracker

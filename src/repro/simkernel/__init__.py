@@ -1,0 +1,51 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic process-based discrete-event engine in the style of
+SimPy, built from scratch for this reproduction.  Every other subsystem in
+:mod:`repro` (cluster, transport, containers, managers) runs as processes on
+one :class:`Environment`, so the entire evaluation of the paper is a single
+deterministic event-driven program.
+
+Core concepts
+-------------
+Environment
+    Owns the event heap and the simulation clock.  ``env.run(until=...)``
+    executes events in timestamp order.
+Event
+    A one-shot occurrence that processes can wait on.  Succeeds with a value
+    or fails with an exception.
+Process
+    Drives a Python generator; each ``yield``ed event suspends the process
+    until the event fires.  Processes can be interrupted.
+Resource / Store
+    Shared-resource primitives: counted resources with FIFO/priority queues
+    and bounded item stores (used to model staging-area queues that can
+    overflow, which drives Figures 9 and 10 of the paper).
+"""
+
+from repro.simkernel.errors import Interrupt, SimulationError, StopProcess
+from repro.simkernel.events import AllOf, AnyOf, Condition, Event, Timeout
+from repro.simkernel.core import Environment
+from repro.simkernel.process import Process
+from repro.simkernel.resources import PriorityResource, Preempted, Resource
+from repro.simkernel.store import FilterStore, QueueOverflow, Store, StoreReserve
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Preempted",
+    "PriorityResource",
+    "Process",
+    "QueueOverflow",
+    "Resource",
+    "SimulationError",
+    "StopProcess",
+    "Store",
+    "StoreReserve",
+    "Timeout",
+]

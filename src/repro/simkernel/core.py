@@ -1,0 +1,137 @@
+"""The simulation environment: clock + event heap.
+
+The :class:`Environment` is deliberately minimal — a binary heap of
+``(time, priority, sequence, event)`` tuples.  The ``sequence`` counter makes
+scheduling fully deterministic: two events scheduled for the same time and
+priority always execute in scheduling order, so every experiment in this
+repository is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Generator, Iterable, Optional
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.simkernel.process import Process
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class Environment:
+    """A deterministic discrete-event simulation environment.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulation clock (seconds by convention
+        throughout :mod:`repro`).
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._eid = 0
+        self.active_process: Optional[Process] = None
+
+    # -- clock ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    # -- factories ------------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a new untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Place ``event`` on the heap ``delay`` time units in the future."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next event, advancing the clock to its timestamp."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event.failed and not event.defused:
+            # A failed event nobody waited on: surface the error instead of
+            # silently losing it.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run until ``until`` (a time, an :class:`Event`, or exhaustion).
+
+        * ``until is None`` — run until no events remain.
+        * number — run until the clock reaches that time.
+        * :class:`Event` — run until that event is processed; returns its
+          value (or raises its exception).
+        """
+        if until is None:
+            stop: Optional[Event] = None
+            horizon = float("inf")
+        elif isinstance(until, Event):
+            stop = until
+            horizon = float("inf")
+            if stop.callbacks is None:  # already processed
+                if stop.failed:
+                    raise stop._value
+                return stop._value
+            done = []
+            stop.callbacks.append(done.append)
+        else:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"until={horizon} is in the past (now={self._now})")
+            stop = None
+
+        while self._queue:
+            if self.peek() > horizon:
+                self._now = horizon
+                return None
+            self.step()
+            if stop is not None and stop.processed:
+                if stop.failed:
+                    stop.defuse()
+                    raise stop._value
+                return stop._value
+
+        if stop is not None:
+            raise SimulationError("schedule is empty but the `until` event never fired")
+        if horizon != float("inf"):
+            self._now = horizon
+        return None

@@ -1,0 +1,34 @@
+"""Exceptions used by the simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the simulation kernel."""
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to terminate it with a value.
+
+    ``return value`` inside the generator is the idiomatic way to finish; this
+    exception exists for callers that need to stop a process from a callback.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries whatever object the interrupter supplied
+    (e.g. a control message asking a DataTap writer to pause).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        return self.args[0]

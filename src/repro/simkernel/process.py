@@ -1,0 +1,123 @@
+"""Processes: generators driven by the event loop.
+
+A process wraps a Python generator.  Each value the generator ``yield``s must
+be an :class:`~repro.simkernel.events.Event`; the process suspends until the
+event fires, then resumes with the event's value (or has the event's exception
+thrown into it).  ``return value`` ends the process and becomes the value of
+the process-event itself, so processes compose: ``result = yield env.process(
+sub())``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.simkernel.errors import Interrupt, SimulationError
+from repro.simkernel.events import Event, URGENT
+
+
+class Process(Event):
+    """A running process.  Also an event that fires when the process ends."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env, generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process is currently waiting on (None when running
+        #: or finished).
+        self._target: Optional[Event] = None
+
+        from repro.simkernel.events import Initialize
+
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process has not terminated."""
+        return self._value is Event.PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt is delivered asynchronously (via an urgent event) so
+        that interrupting from within another process is safe.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} has terminated and cannot be interrupted")
+        if self is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, URGENT)
+
+    # -- engine ---------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env.active_process = self
+
+        # If we were interrupted, unsubscribe from the event we were waiting
+        # on; it may still fire later and must not resume us twice.
+        if event is not self._target and self._target is not None:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed: throw its exception into the process.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                self._target = None
+                self.env.active_process = None
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                return
+            except BaseException as error:
+                self._target = None
+                self.env.active_process = None
+                self._ok = False
+                self._value = error
+                self.env.schedule(self)
+                return
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._generator.throw(error)
+                continue
+
+            if next_event.callbacks is not None:
+                # Event pending: subscribe and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                self.env.active_process = None
+                return
+
+            # Event already processed: loop and feed its value immediately.
+            event = next_event
+
+    def __repr__(self) -> str:
+        state = "finished" if not self.is_alive else "alive"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,43 @@
+"""SmartPointer analytics toolkit: real kernels + DES cost models.
+
+The four analysis actions of Table I, each implemented twice:
+
+* a **real NumPy kernel** operating on atom arrays (used by the examples and
+  tests, and validated against the crack experiment's ground truth);
+* a **cost model** with the complexity, compute model, and branching
+  behaviour of Table I, used when the pipeline runs at Franklin scale inside
+  the discrete-event simulation.
+
+===========  ==========  ===================  =================
+Action       Complexity  Compute model        Dynamic branching
+===========  ==========  ===================  =================
+Helper       O(n)        Tree                 No
+Bonds        O(n^2)      Serial, RR, Parallel Yes
+CSym         O(n)        Serial, RR           No
+CNA          O(n^3)      Serial, RR           No
+===========  ==========  ===================  =================
+"""
+
+from repro.smartpointer.helper import helper_merge
+from repro.smartpointer.bonds import bonds_adjacency, adjacency_list
+from repro.smartpointer.csym import central_symmetry, detect_break
+from repro.smartpointer.cna import common_neighbor_analysis, CNA_FCC, CNA_HCP, CNA_OTHER
+from repro.smartpointer.costs import ComputeModel, CostModel, SMARTPOINTER_COSTS
+from repro.smartpointer.component import ComponentSpec, SMARTPOINTER_COMPONENTS
+
+__all__ = [
+    "CNA_FCC",
+    "CNA_HCP",
+    "CNA_OTHER",
+    "ComponentSpec",
+    "ComputeModel",
+    "CostModel",
+    "SMARTPOINTER_COMPONENTS",
+    "SMARTPOINTER_COSTS",
+    "adjacency_list",
+    "bonds_adjacency",
+    "central_symmetry",
+    "common_neighbor_analysis",
+    "detect_break",
+    "helper_merge",
+]

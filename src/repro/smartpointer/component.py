@@ -1,0 +1,123 @@
+"""Component descriptors: Table I as data.
+
+A :class:`ComponentSpec` bundles what the container framework needs to know
+about an analysis action — its complexity label, supported compute models,
+branching behaviour, cost model, and (when running on real data) its kernel.
+The four SmartPointer actions are registered in
+:data:`SMARTPOINTER_COMPONENTS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.smartpointer.costs import ComputeModel, CostModel, SMARTPOINTER_COSTS
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Static description of one analysis action."""
+
+    name: str
+    complexity: str
+    compute_models: Tuple[ComputeModel, ...]
+    dynamic_branching: bool
+    cost: CostModel
+    #: Fraction of the input size this component's output occupies (the
+    #: derived chunk it forwards downstream).  Bonds forwards atoms + an
+    #: adjacency list, so > 1; labeling stages forward compact annotations.
+    output_ratio: float = 1.0
+    #: Whether the component is essential: non-essential containers are the
+    #: candidates for being taken offline.
+    essential: bool = False
+    #: Stateful components carry per-replica state (e.g. the fragment
+    #: tracker's previous-epoch labeling) that must be migrated during
+    #: resizes — the paper's future-work item, supported by the protocols.
+    stateful: bool = False
+    #: Migratable state size as a fraction of the per-timestep data size.
+    state_ratio: float = 0.0
+
+    def state_bytes(self, natoms: int) -> float:
+        """Bytes of per-replica state to migrate on a resize."""
+        if not self.stateful:
+            return 0.0
+        return natoms * 8.0 * self.state_ratio
+
+    def default_model(self) -> ComputeModel:
+        """The compute model the containers use unless told otherwise."""
+        if ComputeModel.ROUND_ROBIN in self.compute_models:
+            return ComputeModel.ROUND_ROBIN
+        return self.compute_models[0]
+
+
+#: Cost model for the on-demand visualization component (a ParaView-style
+#: renderer reading staged data).  Not part of the SmartPointer toolkit
+#: proper, but the paper's introduction runs "online I/O data visualization
+#: with ParaView in one container" and steals from it when analytics need
+#: nodes, so it gets a spec of its own.
+from repro.smartpointer.costs import CostModel as _CostModel
+
+VIZ_COMPONENT = ComponentSpec(
+    name="viz",
+    complexity="O(n)",
+    compute_models=(ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN),
+    dynamic_branching=False,
+    cost=_CostModel("viz", base_seconds=18.0, exponent=1.0),
+    output_ratio=0.02,  # rendered frames, tiny next to the atom data
+    essential=False,
+)
+
+#: The CTH-style fragment detection + tracking component (see
+#: repro.smartpointer.fragments).  Stateful: the tracker's previous-epoch
+#: atom-to-fragment labeling (~8 B/atom) migrates on every resize.
+FRAGMENTS_COMPONENT = ComponentSpec(
+    name="fragments",
+    complexity="O(n)",
+    compute_models=(ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN),
+    dynamic_branching=False,
+    cost=_CostModel("fragments", base_seconds=25.0, exponent=1.0),
+    output_ratio=0.15,
+    stateful=True,
+    state_ratio=1.0,
+)
+
+SMARTPOINTER_COMPONENTS = {
+    "helper": ComponentSpec(
+        name="helper",
+        complexity="O(n)",
+        compute_models=(ComputeModel.TREE,),
+        dynamic_branching=False,
+        cost=SMARTPOINTER_COSTS["helper"],
+        output_ratio=1.0,
+        essential=True,  # everything downstream depends on aggregation
+    ),
+    "bonds": ComponentSpec(
+        name="bonds",
+        complexity="O(n^2)",
+        compute_models=(
+            ComputeModel.SERIAL,
+            ComputeModel.ROUND_ROBIN,
+            ComputeModel.PARALLEL,
+        ),
+        dynamic_branching=True,
+        cost=SMARTPOINTER_COSTS["bonds"],
+        output_ratio=1.4,  # atoms plus the bonded-pair adjacency list
+    ),
+    "csym": ComponentSpec(
+        name="csym",
+        complexity="O(n)",
+        compute_models=(ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN),
+        dynamic_branching=False,
+        cost=SMARTPOINTER_COSTS["csym"],
+        output_ratio=0.15,  # one scalar per atom vs the full record
+    ),
+    "cna": ComponentSpec(
+        name="cna",
+        complexity="O(n^3)",
+        compute_models=(ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN),
+        dynamic_branching=False,
+        cost=SMARTPOINTER_COSTS["cna"],
+        output_ratio=0.15,  # per-atom structural labels
+    ),
+}

@@ -1,0 +1,113 @@
+"""Calibrated cost models for running SmartPointer actions at Franklin scale.
+
+The DES experiments (Figures 7-10) need per-chunk *service times* for each
+analysis action at Table II data sizes.  We cannot measure the original
+toolkit on a Cray, so the models here are calibrated to reproduce the
+*relationships* the paper reports (see DESIGN.md "shape criteria"):
+
+* Bonds is the pipeline bottleneck at every scale; its initial allocation
+  falls short by a small number of replicas at 256 simulation nodes
+  (fixable by stealing), by slightly more at 512 (insufficient but
+  survivable), and unrecoverably at 1024 (must go offline).
+* Helper is over-provisioned at the default allocation — the donor
+  container.
+* CSym sustains the rate at 256/512 and fails at 1024 (taken offline with
+  Bonds in Figure 9).
+* CNA is expensive and only merited after a crack event.
+
+Service-time law: ``t(n) = base_seconds * (n / reference_atoms) ** exponent``
+scaled by the compute model:
+
+* TREE / PARALLEL divide by the allocated units (+ per-rank overhead for
+  PARALLEL);
+* SERIAL and ROUND_ROBIN keep per-chunk time constant — round-robin
+  replication raises *throughput*, not per-chunk speed, exactly as the
+  paper describes ("spawn additional parallel instances fed by subsequent
+  simulation output steps").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ComputeModel(Enum):
+    TREE = "tree"
+    SERIAL = "serial"
+    ROUND_ROBIN = "rr"
+    PARALLEL = "parallel"
+
+
+#: Table II reference point: the 256-node run's atom count.
+REFERENCE_ATOMS = 8_819_989
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-chunk service time for one analysis action."""
+
+    name: str
+    base_seconds: float
+    exponent: float
+    reference_atoms: int = REFERENCE_ATOMS
+    parallel_overhead: float = 0.05
+
+    def __post_init__(self):
+        if self.base_seconds <= 0:
+            raise ValueError("base_seconds must be positive")
+        if self.reference_atoms <= 0:
+            raise ValueError("reference_atoms must be positive")
+
+    def serial_time(self, natoms: int) -> float:
+        """Per-chunk service time on one unit."""
+        if natoms < 0:
+            raise ValueError("natoms must be non-negative")
+        return self.base_seconds * (natoms / self.reference_atoms) ** self.exponent
+
+    def service_time(self, natoms: int, units: int = 1,
+                     model: ComputeModel = ComputeModel.ROUND_ROBIN) -> float:
+        """Per-chunk service time given ``units`` allocated nodes/ranks."""
+        if units < 1:
+            raise ValueError("units must be >= 1")
+        base = self.serial_time(natoms)
+        if model in (ComputeModel.SERIAL, ComputeModel.ROUND_ROBIN):
+            return base
+        if model is ComputeModel.TREE:
+            return base / units
+        if model is ComputeModel.PARALLEL:
+            return base / units + self.parallel_overhead * units
+        raise ValueError(f"unknown compute model {model}")
+
+    def throughput(self, natoms: int, units: int = 1,
+                   model: ComputeModel = ComputeModel.ROUND_ROBIN) -> float:
+        """Sustainable chunks/second with ``units`` allocated."""
+        per_chunk = self.service_time(natoms, units, model)
+        if model is ComputeModel.ROUND_ROBIN:
+            return units / per_chunk
+        return 1.0 / per_chunk
+
+    def units_to_sustain(self, natoms: int, interval: float,
+                         model: ComputeModel = ComputeModel.ROUND_ROBIN,
+                         max_units: int = 4096) -> int:
+        """Minimum units whose throughput matches a 1/interval arrival rate.
+
+        Returns ``max_units + 1`` if unreachable (e.g. a SERIAL component
+        slower than the interval).
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        rate = 1.0 / interval
+        for units in range(1, max_units + 1):
+            if self.throughput(natoms, units, model) >= rate:
+                return units
+        return max_units + 1
+
+
+#: Calibrated models (see module docstring for the calibration targets).
+SMARTPOINTER_COSTS = {
+    "helper": CostModel("helper", base_seconds=20.0, exponent=1.0),
+    "bonds": CostModel("bonds", base_seconds=70.0, exponent=1.515),
+    "csym": CostModel("csym", base_seconds=30.0, exponent=1.1),
+    "cna": CostModel("cna", base_seconds=80.0, exponent=1.2),
+}

@@ -1,0 +1,203 @@
+"""Fragment detection and tracking: the CTH shock-physics use case.
+
+The paper's future work (Section I): apply containers to the CTH shock
+physics code "as part of a data pipeline that turns the raw atomic data into
+materials fragments to allow tracking.  By moving this workflow online, data
+can be staged and processed, both generating fragments and tracking them as
+they evolve in the simulation."
+
+Both halves are implemented here with real algorithms:
+
+* :func:`find_fragments` — connected components of the bond graph (scipy
+  sparse csgraph), labeling each atom with its fragment id;
+* :class:`FragmentTracker` — persistent identity across timesteps by
+  greatest atom overlap, emitting split / merge / appear / vanish events.
+
+The tracker is *stateful* — its previous-epoch labeling is state that must
+survive container resizes — which makes it the canonical test case for the
+stateful-analytics support (the paper's other future-work item).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.sparse import coo_matrix
+from scipy.sparse.csgraph import connected_components
+
+
+def find_fragments(pairs: np.ndarray, natoms: int,
+                   min_size: int = 1) -> Tuple[np.ndarray, int]:
+    """Label each atom with its fragment (connected component of bonds).
+
+    Returns ``(labels, count)``; atoms in components smaller than
+    ``min_size`` get label -1 (debris, excluded from tracking).
+    """
+    if natoms < 0:
+        raise ValueError("natoms must be non-negative")
+    if natoms == 0:
+        return np.empty(0, dtype=np.int64), 0
+    if len(pairs) == 0:
+        labels = np.arange(natoms, dtype=np.int64)
+        if min_size > 1:
+            return np.full(natoms, -1, dtype=np.int64), 0
+        return labels, natoms
+    data = np.ones(len(pairs), dtype=np.int8)
+    graph = coo_matrix(
+        (data, (pairs[:, 0], pairs[:, 1])), shape=(natoms, natoms)
+    )
+    count, labels = connected_components(graph, directed=False)
+    labels = labels.astype(np.int64)
+    if min_size > 1:
+        sizes = np.bincount(labels, minlength=count)
+        keep = sizes >= min_size
+        # Re-number surviving fragments densely; drop the rest to -1.
+        remap = np.full(count, -1, dtype=np.int64)
+        remap[keep] = np.arange(int(keep.sum()))
+        labels = remap[labels]
+        count = int(keep.sum())
+    return labels, count
+
+
+@dataclass
+class FragmentEvent:
+    """One identity-change event between consecutive epochs."""
+
+    kind: str          # "appear" | "vanish" | "split" | "merge"
+    epoch: int
+    fragment_ids: Tuple[int, ...]
+    detail: str = ""
+
+
+class FragmentTracker:
+    """Tracks fragment identity across epochs by atom overlap.
+
+    Each epoch, new components are matched to previous fragments by the
+    largest shared atom count; a previous fragment whose atoms land in
+    several new components *splits* (the largest heir keeps the id); several
+    previous fragments landing in one component *merge* (the largest
+    constituent's id survives).
+    """
+
+    def __init__(self, min_size: int = 2):
+        if min_size < 1:
+            raise ValueError("min_size must be >= 1")
+        self.min_size = min_size
+        self.epoch = -1
+        self._next_id = 0
+        #: atom index -> persistent fragment id (or -1) for the last epoch
+        self.ids: Optional[np.ndarray] = None
+        self.events: List[FragmentEvent] = []
+        #: persistent id -> atom count at the last epoch
+        self.sizes: Dict[int, int] = {}
+
+    # -- state snapshot (for container state migration) -------------------------------
+
+    def state_bytes(self) -> int:
+        """Size of the tracker's migratable state."""
+        return 0 if self.ids is None else int(self.ids.nbytes) + 64 * len(self.sizes)
+
+    def snapshot(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "next_id": self._next_id,
+            "ids": None if self.ids is None else self.ids.copy(),
+            "sizes": dict(self.sizes),
+        }
+
+    @classmethod
+    def restore(cls, state: dict, min_size: int = 2) -> "FragmentTracker":
+        tracker = cls(min_size=min_size)
+        tracker.epoch = state["epoch"]
+        tracker._next_id = state["next_id"]
+        tracker.ids = None if state["ids"] is None else state["ids"].copy()
+        tracker.sizes = dict(state["sizes"])
+        return tracker
+
+    # -- tracking ----------------------------------------------------------------------
+
+    def update(self, pairs: np.ndarray, natoms: int) -> np.ndarray:
+        """Ingest one epoch's bond list; returns persistent ids per atom."""
+        self.epoch += 1
+        labels, count = find_fragments(pairs, natoms, self.min_size)
+        if self.ids is None or len(self.ids) != natoms:
+            # First epoch (or atom count changed): mint fresh ids.
+            ids = np.full(natoms, -1, dtype=np.int64)
+            for comp in range(count):
+                ids[labels == comp] = self._mint()
+            self._finish(ids)
+            return ids
+
+        previous = self.ids
+        # Overlap matrix: for each new component, count atoms from each old id.
+        new_ids = np.full(natoms, -1, dtype=np.int64)
+        heirs: Dict[int, List[Tuple[int, int]]] = {}  # old id -> [(overlap, comp)]
+        claims: Dict[int, List[Tuple[int, int]]] = {}  # comp -> [(overlap, old id)]
+        for comp in range(count):
+            members = labels == comp
+            olds, counts = np.unique(previous[members], return_counts=True)
+            for old, n in zip(olds, counts):
+                if old < 0:
+                    continue
+                heirs.setdefault(int(old), []).append((int(n), comp))
+                claims.setdefault(comp, []).append((int(n), int(old)))
+
+        # Each component takes the old id with the biggest overlap, unless a
+        # bigger heir of that id exists (then this component is a split-off).
+        winner_of: Dict[int, int] = {}  # old id -> winning comp
+        for old, candidates in heirs.items():
+            candidates.sort(reverse=True)
+            winner_of[old] = candidates[0][1]
+
+        assigned: Dict[int, int] = {}  # comp -> persistent id
+        for comp in range(count):
+            best_old = None
+            best_overlap = 0
+            for overlap, old in claims.get(comp, []):
+                if winner_of.get(old) == comp and overlap > best_overlap:
+                    best_old, best_overlap = old, overlap
+            if best_old is None:
+                fid = self._mint()
+                origin = [old for _, old in claims.get(comp, [])]
+                kind = "split" if origin else "appear"
+                self.events.append(FragmentEvent(
+                    kind=kind, epoch=self.epoch, fragment_ids=(fid,),
+                    detail=f"from {sorted(origin)}" if origin else "",
+                ))
+            else:
+                fid = best_old
+                losers = [old for _, old in claims.get(comp, [])
+                          if old != best_old and winner_of.get(old) == comp]
+                if losers:
+                    self.events.append(FragmentEvent(
+                        kind="merge", epoch=self.epoch,
+                        fragment_ids=tuple(sorted([best_old] + losers)),
+                        detail=f"into {best_old}",
+                    ))
+            assigned[comp] = fid
+            new_ids[labels == comp] = fid
+
+        survivors = set(assigned.values())
+        for old in self.sizes:
+            if old not in survivors:
+                self.events.append(FragmentEvent(
+                    kind="vanish", epoch=self.epoch, fragment_ids=(old,),
+                ))
+        self._finish(new_ids)
+        return new_ids
+
+    def _mint(self) -> int:
+        fid = self._next_id
+        self._next_id += 1
+        return fid
+
+    def _finish(self, ids: np.ndarray) -> None:
+        self.ids = ids
+        present, counts = np.unique(ids[ids >= 0], return_counts=True)
+        self.sizes = {int(f): int(n) for f, n in zip(present, counts)}
+
+    @property
+    def fragment_count(self) -> int:
+        return len(self.sizes)

@@ -1,0 +1,58 @@
+"""LAMMPS Helper: the aggregation stage.
+
+The Helper is an aggregation tree that accepts atom data from the parallel
+simulation's many writers and presents downstream actions with one coherent
+per-timestep dataset.  The real kernel merges the per-writer fragments and
+re-orders by atom id — O(n) work dominated by the sort/scatter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def helper_merge(fragments: Sequence[Dict[str, np.ndarray]]) -> Dict[str, np.ndarray]:
+    """Merge per-writer fragments into one id-ordered dataset.
+
+    Each fragment is a dict of equally-long arrays that must include ``id``.
+    Returns the concatenation of every field, re-ordered so ``id`` is
+    ascending.  Raises on duplicate or missing ids relative to the combined
+    id set (the aggregation tree must not silently lose atoms).
+    """
+    if not fragments:
+        raise ValueError("helper_merge needs at least one fragment")
+    keys = set(fragments[0].keys())
+    if "id" not in keys:
+        raise ValueError("fragments must carry an 'id' field")
+    for frag in fragments:
+        if set(frag.keys()) != keys:
+            raise ValueError("all fragments must have the same fields")
+        lengths = {len(v) for v in frag.values()}
+        if len(lengths) != 1:
+            raise ValueError("fields within a fragment must have equal length")
+
+    merged = {key: np.concatenate([np.asarray(f[key]) for f in fragments])
+              for key in keys}
+    ids = merged["id"]
+    if len(np.unique(ids)) != len(ids):
+        raise ValueError("duplicate atom ids across fragments")
+    order = np.argsort(ids, kind="stable")
+    return {key: value[order] for key, value in merged.items()}
+
+
+def partition_atoms(data: Dict[str, np.ndarray], nparts: int) -> List[Dict[str, np.ndarray]]:
+    """Split a dataset into ``nparts`` contiguous fragments (inverse of merge).
+
+    Used by tests and by the examples to emulate the parallel simulation's
+    per-writer output.
+    """
+    if nparts < 1:
+        raise ValueError("nparts must be >= 1")
+    n = len(data["id"])
+    bounds = np.linspace(0, n, nparts + 1).astype(int)
+    return [
+        {key: value[bounds[k] : bounds[k + 1]] for key, value in data.items()}
+        for k in range(nparts)
+    ]

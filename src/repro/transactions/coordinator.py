@@ -1,0 +1,133 @@
+"""The D2T coordinator: two-phase commit across group roots."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.simkernel import Environment
+from repro.cluster.node import Node
+from repro.evpath.channel import Messenger
+from repro.evpath.messages import Message, MessageType
+from repro.transactions.participants import TxnGroup
+
+_TXN_IDS = itertools.count(1)
+
+
+@dataclass
+class TxnOutcome:
+    """Result of one transaction."""
+
+    txn_id: int
+    committed: bool
+    started_at: float
+    decided_at: float
+    finished_at: float
+    timed_out_groups: List[str] = field(default_factory=list)
+    acks_complete: bool = True
+
+    @property
+    def vote_phase(self) -> float:
+        return self.decided_at - self.started_at
+
+    @property
+    def total(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class D2TCoordinator:
+    """Runs two-phase commit over a set of :class:`TxnGroup` roots.
+
+    Presumed abort: a group that does not deliver its aggregated vote within
+    ``vote_timeout`` is treated as voting abort.  The decision phase waits
+    up to ``ack_timeout`` for aggregated acks; missing acks do not change
+    the decision (participants recover via their logs in real D2T), but are
+    reported in the outcome.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        node: Node,
+        name: str = "txn-coord",
+        vote_timeout: float = 5.0,
+        ack_timeout: float = 5.0,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.node = node
+        self.name = name
+        self.vote_timeout = vote_timeout
+        self.ack_timeout = ack_timeout
+        self.endpoint = messenger.endpoint(node, name)
+        self.outcomes: List[TxnOutcome] = []
+
+    def run(self, groups: List[TxnGroup]):
+        """Process: one transaction across ``groups``; value is TxnOutcome."""
+        return self.env.process(self._run(groups), name="txn")
+
+    def _run(self, groups: List[TxnGroup]):
+        txn_id = next(_TXN_IDS)
+        started = self.env.now
+        # Phase 1: vote requests to every group root.
+        for group in groups:
+            yield self.messenger.send(
+                self.node,
+                group.root.endpoint.name,
+                Message(MessageType.TXN_VOTE_REQUEST, sender=self.name,
+                        payload={"txn_id": txn_id}),
+            )
+        votes: List[bool] = []
+        timed_out: List[str] = []
+        deadline = self.env.timeout(self.vote_timeout)
+        pending = {group.root.endpoint.name: group.name for group in groups}
+        while pending:
+            recv = self.endpoint.recv(
+                MessageType.TXN_VOTE,
+                where=lambda m: m.payload["txn_id"] == txn_id,
+            )
+            result = yield recv | deadline
+            if deadline in result:
+                timed_out.extend(pending.values())
+                break
+            reply = result[recv]
+            pending.pop(reply.sender, None)
+            votes.append(reply.payload["vote"])
+        committed = bool(votes) and all(votes) and not timed_out
+        decided = self.env.now
+
+        # Phase 2: decision + aggregated acks.
+        decision = MessageType.TXN_COMMIT if committed else MessageType.TXN_ABORT
+        reachable = [g for g in groups if g.name not in timed_out]
+        for group in reachable:
+            yield self.messenger.send(
+                self.node,
+                group.root.endpoint.name,
+                Message(decision, sender=self.name, payload={"txn_id": txn_id}),
+            )
+        acks_complete = True
+        ack_deadline = self.env.timeout(self.ack_timeout)
+        remaining = len(reachable)
+        while remaining:
+            recv = self.endpoint.recv(
+                MessageType.TXN_ACK,
+                where=lambda m: m.payload["txn_id"] == txn_id,
+            )
+            result = yield recv | ack_deadline
+            if ack_deadline in result:
+                acks_complete = False
+                break
+            remaining -= 1
+        outcome = TxnOutcome(
+            txn_id=txn_id,
+            committed=committed,
+            started_at=started,
+            decided_at=decided,
+            finished_at=self.env.now,
+            timed_out_groups=timed_out,
+            acks_complete=acks_complete,
+        )
+        self.outcomes.append(outcome)
+        return outcome

@@ -1,0 +1,123 @@
+"""High-level transaction API, including the container-trade transaction."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.simkernel import Environment
+from repro.cluster.node import Node
+from repro.evpath.channel import Messenger
+from repro.transactions.coordinator import D2TCoordinator, TxnOutcome
+from repro.transactions.failures import FailureInjector
+from repro.transactions.participants import TxnGroup, TxnParticipant
+
+
+class TransactionManager:
+    """Owns a coordinator and offers composed transactional operations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        node: Node,
+        injector: Optional[FailureInjector] = None,
+        vote_timeout: float = 5.0,
+        ack_timeout: float = 5.0,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.node = node
+        self.injector = injector
+        self.coordinator = D2TCoordinator(
+            env, messenger, node, vote_timeout=vote_timeout, ack_timeout=ack_timeout
+        )
+        #: scripted trade failures: list of ("decrease"|"increase") to fail,
+        #: consumed in order — used by resilience tests
+        self.trade_faults: List[str] = []
+        self.trades_committed = 0
+        self.trades_aborted = 0
+        self.trades_compensated = 0
+
+    # -- generic transactions ---------------------------------------------------------
+
+    def build_group(
+        self,
+        name: str,
+        nodes: List[Node],
+        fanout: int = 8,
+        vote_fn: Optional[Callable[[int], bool]] = None,
+    ) -> TxnGroup:
+        participants = [
+            TxnParticipant(
+                self.env,
+                self.messenger,
+                node,
+                name=f"{name}-p{i}",
+                vote_fn=vote_fn,
+                injector=self.injector,
+            )
+            for i, node in enumerate(nodes)
+        ]
+        return TxnGroup(name, participants, fanout=fanout)
+
+    def run(self, groups: List[TxnGroup]):
+        """Process: run one transaction; value is :class:`TxnOutcome`."""
+        return self.coordinator.run(groups)
+
+    # -- the resource-trade transaction --------------------------------------------------
+
+    def run_trade(self, global_manager, donor: str, recipient: str, count: int):
+        """Process: move ``count`` nodes donor -> recipient, atomically-ish.
+
+        The guarantee the paper asks for: a node removed from the donor is
+        either added to the recipient or returned to the spare pool — never
+        lost.  Prepare checks both parties can perform their half; the
+        commit executes decrease-then-increase; a failure after the decrease
+        triggers compensation (freed nodes go to the spare pool) and is
+        reported, not silently dropped.
+        """
+        return self.env.process(
+            self._run_trade(global_manager, donor, recipient, count), name="trade"
+        )
+
+    def _run_trade(self, global_manager, donor: str, recipient: str, count: int):
+        gm = global_manager
+        donor_mgr = gm._manager(donor)
+        recipient_mgr = gm._manager(recipient)
+
+        # Prepare / vote: both parties check feasibility.
+        donor_can = donor_mgr.container.units > count and not donor_mgr.container.offline
+        recipient_can = (
+            not recipient_mgr.container.offline and recipient_mgr.container.active
+        )
+        if not (donor_can and recipient_can):
+            self.trades_aborted += 1
+            gm.actions_taken.append(f"trade {donor}->{recipient} aborted (prepare)")
+            yield self.env.timeout(0)
+            return []
+
+        if self.trade_faults and self.trade_faults[0] == "decrease":
+            self.trade_faults.pop(0)
+            self.trades_aborted += 1
+            gm.actions_taken.append(f"trade {donor}->{recipient} aborted (decrease failed)")
+            return []
+
+        freed = yield gm.decrease(donor, count)
+
+        if self.trade_faults and self.trade_faults[0] == "increase":
+            self.trade_faults.pop(0)
+            # Compensation: the freed nodes must not be lost — return them
+            # to the spare pool where the next control round can use them.
+            for node in freed:
+                gm.scheduler._free.append(node)
+            self.trades_compensated += 1
+            gm.actions_taken.append(
+                f"trade {donor}->{recipient} compensated ({len(freed)} nodes to spare)"
+            )
+            return []
+
+        if freed:
+            yield gm.increase(recipient, len(freed), nodes=freed)
+        self.trades_committed += 1
+        gm.actions_taken.append(f"trade {donor}->{recipient} committed x{len(freed)}")
+        return freed

@@ -1,0 +1,36 @@
+"""Deterministic failure injection for transaction testing."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+
+class FailureInjector:
+    """Scripted faults: (participant, txn_id) -> behaviour.
+
+    Behaviours:
+
+    * ``"abort"`` — the participant votes abort;
+    * ``"crash"`` — the participant never answers (the coordinator's
+      timeout must handle it, presumed abort);
+    * ``"crash_after_vote"`` — votes commit, then never acks the decision
+      (the coordinator still completes; recovery is the participant's
+      problem, as in D2T).
+    """
+
+    VALID = ("abort", "crash", "crash_after_vote")
+
+    def __init__(self):
+        self._faults: Dict[Tuple[str, int], str] = {}
+        self.triggered: Set[Tuple[str, int]] = set()
+
+    def inject(self, participant: str, txn_id: int, behaviour: str) -> None:
+        if behaviour not in self.VALID:
+            raise ValueError(f"unknown behaviour {behaviour!r}")
+        self._faults[(participant, txn_id)] = behaviour
+
+    def check(self, participant: str, txn_id: int) -> Optional[str]:
+        fault = self._faults.get((participant, txn_id))
+        if fault is not None:
+            self.triggered.add((participant, txn_id))
+        return fault

@@ -1,0 +1,130 @@
+"""Terminal visualization of fields and atomic configurations.
+
+The pipelines this library manages end in visualization; this module is the
+laptop-scale stand-in for the ParaView end of the pipeline: render a 2-D
+scalar field (e.g. the S3D progress variable) or an atomic configuration
+(e.g. the cracked plate, colored by CNA label or fragment id) as unicode
+block art, suitable for the examples and for quick inspection in tests.
+
+Pure functions over NumPy arrays; no terminal-control dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Ten-step intensity ramp for scalar fields.
+_RAMP = " .:-=+*#%@"
+
+#: Glyphs for categorical labels (fragment ids, CNA classes); -1 = debris.
+_CATEGORY_GLYPHS = "o*#%&+=x?abcdefgh"
+
+
+def render_field(
+    field: np.ndarray,
+    width: int = 72,
+    height: int = 20,
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+) -> str:
+    """Render a 2-D scalar field as an ASCII intensity map.
+
+    The field is resampled to ``height x width`` by block averaging; values
+    map linearly onto a ten-character ramp between ``vmin`` and ``vmax``
+    (defaulting to the field's own range).
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValueError("field must be 2-D")
+    ny, nx = field.shape
+    rows = np.linspace(0, ny, height + 1).astype(int)
+    cols = np.linspace(0, nx, width + 1).astype(int)
+    lo = float(field.min()) if vmin is None else vmin
+    hi = float(field.max()) if vmax is None else vmax
+    span = hi - lo
+    lines = []
+    for r in range(height):
+        r0, r1 = rows[r], max(rows[r + 1], rows[r] + 1)
+        chars = []
+        for c in range(width):
+            c0, c1 = cols[c], max(cols[c + 1], cols[c] + 1)
+            value = field[r0:r1, c0:c1].mean()
+            if span <= 0:
+                level = 0
+            else:
+                level = int(round(
+                    float(np.clip((value - lo) / span, 0, 1)) * (len(_RAMP) - 1)
+                ))
+            chars.append(_RAMP[level])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_atoms(
+    positions: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    width: int = 72,
+    height: int = 24,
+) -> str:
+    """Render 2-D atom positions as a character raster.
+
+    Without labels, occupied cells show ``o``.  With integer labels, each
+    category gets its own glyph (cycled), and label -1 (debris/unlabeled)
+    renders as ``.``; where several atoms share a cell, the most common
+    label wins.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError("positions must be (n, 2)")
+    if len(positions) == 0:
+        return "\n".join(" " * width for _ in range(height))
+    if labels is not None:
+        labels = np.asarray(labels)
+        if labels.shape != (len(positions),):
+            raise ValueError("labels must have one entry per atom")
+
+    mins = positions.min(axis=0)
+    maxs = positions.max(axis=0)
+    extent = np.maximum(maxs - mins, 1e-12)
+    cols = np.clip(((positions[:, 0] - mins[0]) / extent[0] * (width - 1)).astype(int),
+                   0, width - 1)
+    # Terminal rows grow downward; flip y so the render is upright.
+    rows = np.clip(((maxs[1] - positions[:, 1]) / extent[1] * (height - 1)).astype(int),
+                   0, height - 1)
+
+    grid: Dict[Tuple[int, int], Dict[int, int]] = {}
+    for i in range(len(positions)):
+        key = (int(rows[i]), int(cols[i]))
+        label = int(labels[i]) if labels is not None else 0
+        cell = grid.setdefault(key, {})
+        cell[label] = cell.get(label, 0) + 1
+
+    lines = []
+    for r in range(height):
+        chars = []
+        for c in range(width):
+            cell = grid.get((r, c))
+            if not cell:
+                chars.append(" ")
+                continue
+            label = max(cell, key=cell.get)
+            if labels is None:
+                chars.append("o")
+            elif label < 0:
+                chars.append(".")
+            else:
+                chars.append(_CATEGORY_GLYPHS[label % len(_CATEGORY_GLYPHS)])
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def legend(labels: Sequence[int]) -> str:
+    """Glyph legend for the categorical renderer."""
+    entries = []
+    for label in sorted(set(int(l) for l in labels)):
+        glyph = "." if label < 0 else _CATEGORY_GLYPHS[label % len(_CATEGORY_GLYPHS)]
+        name = "debris" if label < 0 else f"#{label}"
+        entries.append(f"{glyph}={name}")
+    return "  ".join(entries)

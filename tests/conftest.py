@@ -1,0 +1,23 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.simkernel import Environment
+from repro.cluster import Machine, franklin
+from repro.evpath import Messenger
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def machine(env):
+    """A small flat-ish machine: 16 nodes, fast to build."""
+    return Machine(env, num_nodes=16, cores_per_node=4)
+
+
+@pytest.fixture
+def messenger(env, machine):
+    return Messenger(env, machine.network)

@@ -1,0 +1,206 @@
+"""Unit tests for the ADIOS layer: variables, groups, BP files, methods."""
+
+import numpy as np
+import pytest
+
+from repro.simkernel import Environment
+from repro.data import DataChunk
+from repro.adios import (
+    AdiosStream,
+    Group,
+    ParallelFileSystem,
+    PosixMethod,
+    VarInfo,
+    read_bp,
+    write_bp,
+)
+from repro.adios.group import lammps_atoms_group
+from repro.adios.methods import DataTapMethod, NullMethod
+from repro.adios.variable import AttributeSet
+from repro.datatap import DataTapLink, DataTapReader, DataTapWriter
+from repro.simkernel import Store
+
+
+class TestVarInfo:
+    def test_nbytes_fixed_dims(self):
+        v = VarInfo("x", "float64", (10, 3))
+        assert v.nbytes() == 240
+
+    def test_nbytes_symbolic_dims(self):
+        v = VarInfo("pos", "float32", ("natoms", 3))
+        assert v.nbytes({"natoms": 100}) == 1200
+
+    def test_unbound_symbol_raises(self):
+        v = VarInfo("pos", "float64", ("natoms",))
+        with pytest.raises(KeyError):
+            v.nbytes()
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            VarInfo("x", "complex256")
+
+    def test_matches_array(self):
+        v = VarInfo("pos", "float64", ("natoms", 2))
+        good = np.zeros((5, 2))
+        assert v.matches(good, {"natoms": 5})
+        assert not v.matches(good, {"natoms": 6})
+        assert not v.matches(np.zeros((5, 3)), {"natoms": 5})
+        assert not v.matches(good.astype(np.float32), {"natoms": 5})
+
+
+class TestGroup:
+    def test_declare_and_size(self):
+        g = Group("atoms", [VarInfo("id", "uint32", ("n",)), VarInfo("x", "float64", ("n",))])
+        assert g.nbytes({"n": 10}) == 40 + 80
+        assert "id" in g
+        assert len(g) == 2
+
+    def test_duplicate_var_rejected(self):
+        g = Group("g", [VarInfo("a", "int32")])
+        with pytest.raises(ValueError):
+            g.declare(VarInfo("a", "int64"))
+
+    def test_lammps_group_matches_table2_ratio(self):
+        """Table II implies 8 bytes/atom of streamed output."""
+        g = lammps_atoms_group()
+        assert g.nbytes({"natoms": 1000}) == 8000
+
+
+class TestAttributeSet:
+    def test_set_get(self):
+        attrs = AttributeSet({"a": 1})
+        attrs.set("b", "two")
+        assert attrs.get("a") == 1
+        assert "b" in attrs
+        assert attrs.as_dict() == {"a": 1, "b": "two"}
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSet().set("", 1)
+
+
+class TestBPFormat:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out.bp"
+        variables = {
+            "positions": np.random.default_rng(0).random((50, 2)),
+            "ids": np.arange(50, dtype=np.uint32),
+        }
+        attrs = {"provenance": ["helper", "bonds"], "timestep": 3}
+        nbytes = write_bp(path, variables, attrs)
+        assert nbytes == path.stat().st_size
+        got_vars, got_attrs = read_bp(path)
+        assert got_attrs == attrs
+        np.testing.assert_array_equal(got_vars["positions"], variables["positions"])
+        np.testing.assert_array_equal(got_vars["ids"], variables["ids"])
+
+    def test_numpy_scalars_in_attributes(self, tmp_path):
+        path = tmp_path / "out.bp"
+        write_bp(path, {"x": np.zeros(3)}, {"count": np.int64(5), "f": np.float32(1.5)})
+        _, attrs = read_bp(path)
+        assert attrs["count"] == 5
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bp"
+        path.write_bytes(b"NOTBP---" + b"\x00" * 32)
+        with pytest.raises(ValueError, match="magic"):
+            read_bp(path)
+
+    def test_object_dtype_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            write_bp(tmp_path / "o.bp", {"bad": np.array([object()])})
+
+    def test_empty_arrays_roundtrip(self, tmp_path):
+        path = tmp_path / "e.bp"
+        write_bp(path, {"empty": np.zeros((0, 3))}, {})
+        got, _ = read_bp(path)
+        assert got["empty"].shape == (0, 3)
+
+
+class TestParallelFileSystem:
+    def test_write_records_file(self, env, machine):
+        fs = ParallelFileSystem(env)
+        done = []
+
+        def proc(env):
+            record = yield fs.write(machine.nodes[0], "a.bp", 1e6, {"p": 1})
+            done.append(record)
+
+        env.process(proc(env))
+        env.run()
+        assert done[0].name == "a.bp"
+        assert fs.find("a.bp")[0].attributes == {"p": 1}
+        assert fs.bytes_written == 1e6
+
+    def test_striping_limits_concurrency(self, env, machine):
+        fs = ParallelFileSystem(env, stripes=1, per_stream_bandwidth=1e6)
+        times = []
+
+        def proc(env, name):
+            yield fs.write(machine.nodes[0], name, 1e6, {})
+            times.append(env.now)
+
+        env.process(proc(env, "a"))
+        env.process(proc(env, "b"))
+        env.run()
+        assert times[1] >= times[0] + 0.9  # serialized on the single stripe
+
+    def test_validation(self, env):
+        with pytest.raises(ValueError):
+            ParallelFileSystem(env, stripes=0)
+        with pytest.raises(ValueError):
+            ParallelFileSystem(env, per_stream_bandwidth=0)
+
+
+class TestStreamAndMethods:
+    def test_posix_method_attaches_provenance(self, env, machine):
+        fs = ParallelFileSystem(env)
+        method = PosixMethod(env, fs, machine.nodes[0], prefix="csym")
+        group = Group("labels", [VarInfo("l", "uint8", ("n",))])
+        stream = AdiosStream(env, group, method)
+        c = DataChunk(timestep=7, nbytes=500, provenance=("helper", "bonds", "csym"))
+
+        def proc(env):
+            yield stream.write(c)
+
+        env.process(proc(env))
+        env.run()
+        record = fs.files[0]
+        assert record.name == "csym.ts000007.bp"
+        assert record.attributes["provenance"] == ["helper", "bonds", "csym"]
+        assert record.attributes["timestep"] == 7
+
+    def test_method_switch_midstream(self, env, machine, messenger):
+        """The offline path: swap DATATAP for POSIX at runtime."""
+        fs = ParallelFileSystem(env)
+        link = DataTapLink(env, messenger, "l")
+        writer = DataTapWriter(env, messenger, machine.nodes[0], name="w")
+        link.add_writer(writer)
+        q = Store(env, capacity=4)
+        link.add_reader(DataTapReader(env, messenger, machine.nodes[1], "r", q))
+
+        group = Group("g", [VarInfo("x", "float64", ("n",))])
+        stream = AdiosStream(env, group, DataTapMethod(writer))
+
+        def proc(env):
+            yield stream.write(DataChunk(timestep=0, nbytes=100))
+            previous = stream.set_method(PosixMethod(env, fs, machine.nodes[0]))
+            assert previous.name == "DATATAP"
+            yield stream.write(DataChunk(timestep=1, nbytes=100))
+
+        env.process(proc(env))
+        env.run(until=10)
+        assert stream.method_switches == 1
+        assert len(fs.files) == 1
+        assert q.size == 1
+
+    def test_null_method_discards(self, env):
+        group = Group("g", [VarInfo("x", "float64")])
+        stream = AdiosStream(env, group, NullMethod(env))
+
+        def proc(env):
+            yield stream.write(DataChunk(timestep=0, nbytes=10))
+
+        env.process(proc(env))
+        env.run()
+        assert stream.chunks_out == 1

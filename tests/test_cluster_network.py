@@ -1,0 +1,138 @@
+"""Unit tests for the interconnect model."""
+
+import networkx as nx
+import pytest
+
+from repro.simkernel import Environment
+from repro.cluster import Machine, Network, Node
+from repro.cluster.machine import torus_3d
+
+
+class TestTopology:
+    def test_torus_shape(self):
+        g = torus_3d((2, 2, 2))
+        assert g.number_of_nodes() == 8
+        # In a 2-wide torus, wraparound and direct edges coincide; each node
+        # still has degree 3.
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_torus_larger_degree(self):
+        g = torus_3d((4, 4, 4))
+        assert g.number_of_nodes() == 64
+        assert all(d == 6 for _, d in g.degree())
+
+    def test_torus_validation(self):
+        with pytest.raises(ValueError):
+            torus_3d((0, 2, 2))
+        with pytest.raises(ValueError):
+            torus_3d((2, 2))
+
+
+class TestHops:
+    def test_flat_network_single_hop(self, env):
+        net = Network(env, topology=None)
+        assert net.hops(0, 5) == 1
+        assert net.hops(3, 3) == 0
+
+    def test_torus_shortest_path(self, env):
+        g = torus_3d((4, 4, 4))
+        net = Network(env, topology=g)
+        assert net.hops(0, 0) == 0
+        # Adjacent nodes are one hop.
+        neighbor = next(iter(g.neighbors(0)))
+        assert net.hops(0, neighbor) == 1
+
+    def test_hops_cached_and_symmetric(self, env):
+        net = Network(env, topology=torus_3d((3, 3, 3)))
+        assert net.hops(1, 20) == net.hops(20, 1)
+        assert (1, 20) in net._hops_cache
+
+
+class TestTransfer:
+    def test_duration_matches_model(self, env):
+        m = Machine(env, num_nodes=4, nic_bandwidth=1e9)
+        src, dst = m.nodes[0], m.nodes[1]
+        nbytes = 1e8
+        expected = m.network.ideal_transfer_time(src, dst, nbytes)
+        done = []
+
+        def proc(env):
+            yield m.network.transfer(src, dst, nbytes)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done[0] == pytest.approx(expected)
+
+    def test_intra_node_transfer_is_cheap(self, env):
+        m = Machine(env, num_nodes=2)
+        done = []
+
+        def proc(env):
+            yield m.network.transfer(m.nodes[0], m.nodes[0], 1e9)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done[0] == m.network.software_overhead
+
+    def test_nic_contention_serializes(self, env):
+        m = Machine(env, num_nodes=3, nic_bandwidth=1e9, nic_streams=1)
+        src = m.nodes[0]
+        done = []
+
+        def proc(env, dst):
+            yield m.network.transfer(src, dst, 1e9)  # ~1 s each
+            done.append(env.now)
+
+        env.process(proc(env, m.nodes[1]))
+        env.process(proc(env, m.nodes[2]))
+        env.run()
+        # Second transfer waits for the first sender-side NIC channel.
+        assert done[1] >= done[0] + 0.9
+        assert m.network.stats.wait_time > 0
+
+    def test_negative_size_rejected(self, env):
+        m = Machine(env, num_nodes=2)
+        env.process(bad(env, m))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_rdma_get_adds_request_latency(self, env):
+        m = Machine(env, num_nodes=2)
+        reader, target = m.nodes[0], m.nodes[1]
+        times = {}
+
+        def push(env):
+            start = env.now
+            yield m.network.transfer(target, reader, 1e6)
+            times["push"] = env.now - start
+
+        def pull(env):
+            yield env.timeout(10)
+            start = env.now
+            yield m.network.rdma_get(reader, target, 1e6)
+            times["pull"] = env.now - start
+
+        env.process(push(env))
+        env.process(pull(env))
+        env.run()
+        assert times["pull"] > times["push"]
+
+    def test_stats_accumulate(self, env):
+        m = Machine(env, num_nodes=2)
+
+        def proc(env):
+            yield m.network.transfer(m.nodes[0], m.nodes[1], 100)
+            yield m.network.transfer(m.nodes[0], m.nodes[1], 200)
+
+        env.process(proc(env))
+        env.run()
+        assert m.network.stats.messages == 2
+        assert m.network.stats.bytes == 300
+        assert m.nodes[0].nic.bytes_sent == 300
+        assert m.nodes[1].nic.bytes_received == 300
+
+
+def bad(env, m):
+    yield m.network.transfer(m.nodes[0], m.nodes[1], -5)

@@ -1,0 +1,178 @@
+"""Unit tests for management policies (pure decision logic)."""
+
+import pytest
+
+from repro.containers.policy import (
+    ContainerState,
+    Increase,
+    LatencyPolicy,
+    Offline,
+    QueueDerivativePolicy,
+    Steal,
+)
+
+
+def state(
+    name,
+    units=4,
+    latency=None,
+    latency_est=None,
+    queued=0,
+    shortfall=0,
+    headroom=0,
+    occupancy=0.0,
+    occupancy_samples=(),
+    queue_samples=(),
+    essential=False,
+    offline=False,
+    active=True,
+):
+    return ContainerState(
+        name=name,
+        units=units,
+        latency_mean=latency,
+        latency_est=latency_est if latency_est is not None else latency,
+        queued=queued,
+        queue_samples=tuple(queue_samples),
+        occupancy_samples=tuple(occupancy_samples),
+        buffer_occupancy=occupancy,
+        shortfall=shortfall,
+        headroom=headroom,
+        essential=essential,
+        offline=offline,
+        active=active,
+    )
+
+
+SLA = 15.0
+
+
+class TestLatencyPolicy:
+    def test_no_distress_no_action(self):
+        policy = LatencyPolicy()
+        states = {"a": state("a", latency=5.0), "b": state("b", latency=10.0)}
+        assert policy.decide(states, 4, SLA, now=0, horizon=100) == []
+
+    def test_spares_used_first(self):
+        policy = LatencyPolicy()
+        states = {"bonds": state("bonds", latency=70.0, shortfall=2)}
+        actions = policy.decide(states, spare_nodes=4, sla_interval=SLA, now=0, horizon=100)
+        assert actions == [Increase("bonds", 2)]
+
+    def test_steal_when_no_spares(self):
+        policy = LatencyPolicy()
+        states = {
+            "bonds": state("bonds", latency=70.0, shortfall=1),
+            "helper": state("helper", latency=5.0, headroom=2),
+        }
+        actions = policy.decide(states, 0, SLA, now=0, horizon=100)
+        assert actions == [Steal("helper", "bonds", 1)]
+
+    def test_spares_then_steal_combined(self):
+        policy = LatencyPolicy()
+        states = {
+            "bonds": state("bonds", latency=70.0, shortfall=3),
+            "helper": state("helper", latency=5.0, headroom=2),
+        }
+        actions = policy.decide(states, 1, SLA, now=0, horizon=100)
+        assert actions == [Increase("bonds", 1), Steal("helper", "bonds", 2)]
+
+    def test_largest_headroom_donor_first(self):
+        policy = LatencyPolicy()
+        states = {
+            "bonds": state("bonds", latency=70.0, shortfall=1),
+            "helper": state("helper", latency=5.0, headroom=2),
+            "csym": state("csym", latency=10.0, headroom=1),
+        }
+        actions = policy.decide(states, 0, SLA, now=0, horizon=100)
+        assert actions == [Steal("helper", "bonds", 1)]
+
+    def test_bottleneck_is_longest_latency_with_need(self):
+        policy = LatencyPolicy()
+        states = {
+            # Over SLA but sustaining: left alone.
+            "csym": state("csym", latency=64.0, shortfall=0),
+            "bonds": state("bonds", latency=40.0, shortfall=2),
+        }
+        actions = policy.decide(states, 4, SLA, now=0, horizon=100)
+        assert actions == [Increase("bonds", 2)]
+
+    def test_offline_when_nothing_available_and_overflow_imminent(self):
+        policy = LatencyPolicy(overflow_occupancy=0.5)
+        states = {"bonds": state("bonds", latency=500.0, shortfall=20, occupancy=0.7)}
+        actions = policy.decide(states, 0, SLA, now=0, horizon=100)
+        assert actions == [Offline("bonds", reason="no resources; overflow imminent")]
+
+    def test_no_offline_for_essential(self):
+        policy = LatencyPolicy()
+        states = {"helper": state("helper", latency=500.0, shortfall=20,
+                                  occupancy=0.9, essential=True)}
+        assert policy.decide(states, 0, SLA, now=0, horizon=100) == []
+
+    def test_no_offline_without_overflow_pressure(self):
+        policy = LatencyPolicy(overflow_occupancy=0.5)
+        states = {"bonds": state("bonds", latency=500.0, shortfall=20, occupancy=0.1)}
+        assert policy.decide(states, 0, SLA, now=0, horizon=100) == []
+
+    def test_offline_from_occupancy_trend(self):
+        policy = LatencyPolicy(overflow_occupancy=0.9)
+        samples = [(0.0, 0.1), (100.0, 0.4)]  # full at ~t=300
+        states = {
+            "bonds": state("bonds", latency=500.0, shortfall=20, occupancy=0.4,
+                           occupancy_samples=samples)
+        }
+        actions = policy.decide(states, 0, SLA, now=100, horizon=250)
+        assert actions and isinstance(actions[0], Offline)
+        # Out of horizon -> no offline yet.
+        assert policy.decide(states, 0, SLA, now=100, horizon=50) == []
+
+    def test_offline_and_standby_excluded(self):
+        policy = LatencyPolicy()
+        states = {
+            "bonds": state("bonds", latency=70.0, shortfall=1),
+            "gone": state("gone", latency=999.0, shortfall=5, offline=True),
+            "cna": state("cna", latency=None, active=False, headroom=3),
+        }
+        # cna (standby) must not be chosen as donor; gone must not be bottleneck.
+        assert policy.decide(states, 0, SLA, now=0, horizon=100) == []
+
+    def test_live_estimate_used_when_no_completions(self):
+        """A stage that has completed nothing (latency_mean None) but whose
+        oldest input is ancient must still be seen as the bottleneck."""
+        policy = LatencyPolicy()
+        states = {"bonds": state("bonds", latency=None, latency_est=120.0, shortfall=2)}
+        actions = policy.decide(states, 4, SLA, now=0, horizon=100)
+        assert actions == [Increase("bonds", 2)]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            LatencyPolicy(overflow_occupancy=0)
+        with pytest.raises(ValueError):
+            LatencyPolicy(overflow_occupancy=1.5)
+
+
+class TestQueueDerivativePolicy:
+    def test_reacts_to_queue_growth_before_sla(self):
+        policy = QueueDerivativePolicy(growth_threshold=0.005)
+        samples = [(0.0, 0.0), (100.0, 5.0)]  # 0.05 chunks/s growth
+        states = {
+            "bonds": state("bonds", latency=10.0, shortfall=1, queue_samples=samples),
+        }
+        actions = policy.decide(states, 2, SLA, now=100, horizon=100)
+        assert actions == [Increase("bonds", 1)]
+
+    def test_flat_queues_no_action(self):
+        policy = QueueDerivativePolicy()
+        samples = [(0.0, 3.0), (100.0, 3.0)]
+        states = {"bonds": state("bonds", latency=50.0, shortfall=1, queue_samples=samples)}
+        assert policy.decide(states, 2, SLA, now=100, horizon=100) == []
+
+    def test_steals_like_latency_policy(self):
+        policy = QueueDerivativePolicy()
+        samples = [(0.0, 0.0), (100.0, 5.0)]
+        states = {
+            "bonds": state("bonds", latency=50.0, shortfall=1, queue_samples=samples),
+            "helper": state("helper", latency=5.0, headroom=1),
+        }
+        actions = policy.decide(states, 0, SLA, now=100, horizon=100)
+        assert actions == [Steal("helper", "bonds", 1)]

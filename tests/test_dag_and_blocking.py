@@ -1,0 +1,110 @@
+"""Tests for static DAG pipelines (fan-out) and blocking accounting."""
+
+import pytest
+
+from repro import Environment, PipelineBuilder, WeakScalingWorkload
+from repro.containers.pipeline import StageConfig
+from repro.smartpointer.costs import ComputeModel
+
+MIB = 2**20
+
+
+class TestStaticFanOut:
+    def test_two_active_consumers_each_see_full_stream(self):
+        """A declared DAG: Bonds feeds CSym *and* CNA simultaneously (no
+        standby, no branch) — both must process every timestep."""
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=16,
+                                 output_interval=15.0, total_steps=12)
+        stages = [
+            StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
+            StageConfig("bonds", 5, ComputeModel.ROUND_ROBIN, upstream="helper"),
+            StageConfig("csym", 3, ComputeModel.ROUND_ROBIN, upstream="bonds"),
+            StageConfig("cna", 4, ComputeModel.ROUND_ROBIN, upstream="bonds",
+                        standby=False),
+        ]
+        pipe = PipelineBuilder(env, wl, stages=stages, seed=0,
+                               control_interval=10_000).build()
+        assert len(pipe.containers["bonds"].output_links) == 2
+        pipe.run(settle=900)
+        assert pipe.containers["csym"].completions == 12
+        assert pipe.containers["cna"].completions == 12
+        # Both sinks wrote their own outputs.
+        assert any(f.name.startswith("csym.") for f in pipe.fs.files)
+        assert any(f.name.startswith("cna.") for f in pipe.fs.files)
+
+    def test_fanout_exit_counts_each_sink(self):
+        """Pipeline exits are recorded once per sink completion."""
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=16,
+                                 output_interval=15.0, total_steps=6)
+        stages = [
+            StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
+            StageConfig("bonds", 5, ComputeModel.ROUND_ROBIN, upstream="helper"),
+            StageConfig("csym", 3, ComputeModel.ROUND_ROBIN, upstream="bonds"),
+            StageConfig("cna", 4, ComputeModel.ROUND_ROBIN, upstream="bonds",
+                        standby=False),
+        ]
+        pipe = PipelineBuilder(env, wl, stages=stages, seed=0,
+                               control_interval=10_000).build()
+        pipe.run(settle=900)
+        assert len(pipe.end_to_end) == 12  # 6 steps x 2 sinks
+
+    def test_branch_semantics_preserved_with_standby(self):
+        """The default (standby CNA) still swaps rather than fans out."""
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=13,
+                                 output_interval=15.0, total_steps=6)
+        pipe = PipelineBuilder(env, wl, seed=0, control_interval=10_000).build()
+        assert len(pipe.containers["bonds"].output_links) == 1
+
+
+class TestBlockingAccounting:
+    def _tight(self, managed, steps=40):
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=1024, staging_nodes=24,
+                                 spare_staging_nodes=4,
+                                 output_interval=15.0, total_steps=steps)
+        pipe = PipelineBuilder(
+            env, wl, seed=1,
+            control_interval=30.0 if managed else 1e9,
+            stage_buffer_bytes=480 * MIB,
+            sim_buffer_bytes=3 * 68 * MIB,
+        ).build()
+        finished = pipe.run(settle=120)
+        return pipe, finished
+
+    def test_unmanaged_tight_buffers_wedge_the_application(self):
+        pipe, finished = self._tight(managed=False)
+        assert not finished
+        assert pipe.driver.is_blocked
+        assert pipe.driver.total_blocked_time > 0
+        assert pipe.driver.steps_emitted < 40
+
+    def test_managed_tight_buffers_stay_unblocked(self):
+        pipe, finished = self._tight(managed=True)
+        assert finished
+        assert pipe.driver.total_blocked_time == 0.0
+        assert not pipe.driver.is_blocked
+        assert pipe.containers["bonds"].offline  # the prune saved the run
+
+    def test_run_deadline_caps_wedged_simulations(self):
+        """A wedged pipeline terminates at the deadline instead of ticking
+        its monitors forever."""
+        env = Environment()
+        wl = WeakScalingWorkload(sim_nodes=1024, staging_nodes=24,
+                                 spare_staging_nodes=4,
+                                 output_interval=15.0, total_steps=40)
+        pipe = PipelineBuilder(
+            env, wl, seed=1, control_interval=1e9,
+            stage_buffer_bytes=480 * MIB, sim_buffer_bytes=3 * 68 * MIB,
+        ).build()
+        finished = pipe.run(deadline=250.0)
+        assert not finished
+        assert env.now == pytest.approx(250.0, abs=1.0)
+
+    def test_buffer_caps_validated(self, env, machine):
+        from repro.datatap.buffer import StagingBuffer
+
+        with pytest.raises(ValueError):
+            StagingBuffer(env, machine.nodes[0], capacity_bytes=0)

@@ -1,0 +1,227 @@
+"""Unit tests for the EVPath layer: messages, endpoints, channels, stones,
+overlays."""
+
+import pytest
+
+from repro.simkernel import SimulationError
+from repro.evpath import Message, MessageType, Messenger, OverlayTree, StoneGraph
+from repro.evpath.channel import Channel
+
+
+class TestMessages:
+    def test_sequence_numbers_increase(self):
+        a = Message(MessageType.ACK, "x")
+        b = Message(MessageType.ACK, "x")
+        assert b.seq > a.seq
+
+    def test_reply_correlates(self):
+        req = Message(MessageType.INCREASE_REQUEST, "gm")
+        rep = req.reply(MessageType.ACK, "cm")
+        assert rep.reply_to == req.seq
+
+
+class TestEndpoints:
+    def test_register_and_lookup(self, env, machine, messenger):
+        ep = messenger.endpoint(machine.nodes[0], "a")
+        assert messenger.lookup("a") is ep
+
+    def test_duplicate_name_rejected(self, env, machine, messenger):
+        messenger.endpoint(machine.nodes[0], "a")
+        with pytest.raises(SimulationError):
+            messenger.endpoint(machine.nodes[1], "a")
+
+    def test_unknown_lookup_raises(self, messenger):
+        with pytest.raises(SimulationError):
+            messenger.lookup("ghost")
+
+    def test_unregister(self, env, machine, messenger):
+        messenger.endpoint(machine.nodes[0], "a")
+        messenger.unregister("a")
+        with pytest.raises(SimulationError):
+            messenger.lookup("a")
+
+    def test_send_delivers(self, env, machine, messenger):
+        ep = messenger.endpoint(machine.nodes[1], "dst")
+        got = []
+
+        def receiver(env):
+            msg = yield ep.recv()
+            got.append(msg.payload)
+
+        def sender(env):
+            yield messenger.send(
+                machine.nodes[0], "dst", Message(MessageType.ACK, "src", payload=7)
+            )
+
+        env.process(receiver(env))
+        env.process(sender(env))
+        env.run()
+        assert got == [7]
+        assert messenger.messages_sent == 1
+
+    def test_typed_recv_filters(self, env, machine, messenger):
+        ep = messenger.endpoint(machine.nodes[1], "dst")
+        got = []
+
+        def receiver(env):
+            msg = yield ep.recv(MessageType.DECREASE_REQUEST)
+            got.append(msg.mtype)
+
+        def sender(env):
+            yield messenger.send(machine.nodes[0], "dst", Message(MessageType.ACK, "s"))
+            yield messenger.send(
+                machine.nodes[0], "dst", Message(MessageType.DECREASE_REQUEST, "s")
+            )
+
+        env.process(receiver(env))
+        env.process(sender(env))
+        env.run()
+        assert got == [MessageType.DECREASE_REQUEST]
+        assert ep.pending == 1  # the ACK is still waiting
+
+    def test_request_reply_roundtrip(self, env, machine, messenger):
+        server_ep = messenger.endpoint(machine.nodes[1], "server")
+        client_ep = messenger.endpoint(machine.nodes[0], "client")
+        results = []
+
+        def server(env):
+            msg = yield server_ep.recv()
+            yield messenger.send(
+                machine.nodes[1], "client", msg.reply(MessageType.ACK, "server", payload="pong")
+            )
+
+        def client(env):
+            reply = yield messenger.request(
+                machine.nodes[0], client_ep, "server",
+                Message(MessageType.SPEEDUP_QUERY, "client", payload="ping"),
+            )
+            results.append(reply.payload)
+
+        env.process(server(env))
+        env.process(client(env))
+        env.run()
+        assert results == ["pong"]
+
+
+class TestChannel:
+    def test_fixed_pipe(self, env, machine, messenger):
+        a = messenger.endpoint(machine.nodes[0], "a")
+        b = messenger.endpoint(machine.nodes[1], "b")
+        chan = Channel(messenger, a, b)
+        got = []
+
+        def receiver(env):
+            msg = yield b.recv()
+            got.append(msg.payload)
+
+        def sender(env):
+            yield chan.send(Message(MessageType.ACK, "a", payload="hi"))
+
+        env.process(receiver(env))
+        env.process(sender(env))
+        env.run()
+        assert got == ["hi"]
+
+
+class TestStones:
+    def test_filter_transform_handler_chain(self, env, machine, messenger):
+        graph = StoneGraph(env, messenger)
+        out = []
+        f = graph.create_stone(machine.nodes[0], "filter", lambda e: e % 2 == 0)
+        t = graph.create_stone(machine.nodes[1], "transform", lambda e: e * 10)
+        h = graph.create_stone(machine.nodes[2], "handler", out.append)
+        f.link(t)
+        t.link(h)
+
+        def feed(env):
+            for value in range(4):
+                yield graph.submit(f, value)
+
+        env.process(feed(env))
+        env.run()
+        assert out == [0, 20]
+        assert f.events_in == 4
+
+    def test_router_selects_output(self, env, machine, messenger):
+        graph = StoneGraph(env, messenger)
+        left, right = [], []
+        r = graph.create_stone(machine.nodes[0], "router", lambda e: 0 if e < 10 else 1)
+        r.link(graph.create_stone(machine.nodes[1], "handler", left.append))
+        r.link(graph.create_stone(machine.nodes[2], "handler", right.append))
+
+        def feed(env):
+            yield graph.submit(r, 5)
+            yield graph.submit(r, 50)
+
+        env.process(feed(env))
+        env.run()
+        assert left == [5]
+        assert right == [50]
+
+    def test_router_out_of_range_fails(self, env, machine, messenger):
+        graph = StoneGraph(env, messenger)
+        r = graph.create_stone(machine.nodes[0], "router", lambda e: 7)
+        r.link(graph.create_stone(machine.nodes[1], "handler", lambda e: None))
+
+        def feed(env):
+            yield graph.submit(r, 1)
+
+        env.process(feed(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_bad_kind_rejected(self, env, machine, messenger):
+        graph = StoneGraph(env, messenger)
+        with pytest.raises(ValueError):
+            graph.create_stone(machine.nodes[0], "mystery", lambda e: e)
+
+    def test_cross_node_edge_costs_time(self, env, machine, messenger):
+        graph = StoneGraph(env, messenger)
+        out = []
+        a = graph.create_stone(machine.nodes[0], "transform", lambda e: e)
+        b = graph.create_stone(machine.nodes[1], "handler", lambda e: out.append(env.now))
+        a.link(b)
+
+        def feed(env):
+            yield graph.submit(a, 1)
+
+        env.process(feed(env))
+        env.run()
+        assert out[0] > 0.0
+
+
+class TestOverlay:
+    def test_reports_reach_root(self, env, machine, messenger):
+        reports = []
+        overlay = OverlayTree(
+            env, messenger, machine.nodes[0], machine.nodes[1:9],
+            on_report=reports.append, fanout=3,
+        )
+
+        def leaf(env):
+            yield overlay.submit(machine.nodes[4], {"latency": 1.5})
+
+        env.process(leaf(env))
+        env.run()
+        assert len(reports) == 1
+        assert overlay.messages >= 1
+
+    def test_depth_grows_logarithmically(self, env, machine, messenger):
+        small = OverlayTree(env, messenger, machine.nodes[0], machine.nodes[1:4],
+                            on_report=lambda r: None, fanout=4)
+        big = OverlayTree(env, messenger, machine.nodes[0], machine.nodes[1:16],
+                          on_report=lambda r: None, fanout=2)
+        assert small.depth() <= big.depth()
+
+    def test_non_leaf_submit_rejected(self, env, machine, messenger):
+        overlay = OverlayTree(env, messenger, machine.nodes[0], machine.nodes[1:4],
+                              on_report=lambda r: None)
+        with pytest.raises(SimulationError):
+            overlay.submit(machine.nodes[10], {})
+
+    def test_validation(self, env, machine, messenger):
+        with pytest.raises(ValueError):
+            OverlayTree(env, messenger, machine.nodes[0], [], on_report=lambda r: None)
+        with pytest.raises(ValueError):
+            OverlayTree(env, messenger, machine.nodes[0], machine.nodes[1:3],
+                        on_report=lambda r: None, fanout=1)

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess with the repository's interpreter;
+the assertions check the headline line of each script's output so a silent
+regression in an example (not just a crash) fails the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "decrease helper" in out and "increase bonds" in out
+        assert "blocked I/O: 0.00s" in out
+
+    def test_resource_stealing_demo(self):
+        out = run_example("resource_stealing_demo.py")
+        assert "crack detected: branch to CNA" in out
+        assert "Application blocked time: 0.00s" in out
+
+    def test_offline_fallback_demo(self):
+        out = run_example("offline_fallback_demo.py")
+        assert "offline bonds" in out
+        assert "Post-processing backlog" in out
+
+    def test_transactions_demo(self):
+        out = run_example("transactions_demo.py")
+        assert "committed=True" in out
+        assert "node conservation: 13 before, 13 after (OK)" in out
+
+    def test_interactive_visualization(self):
+        out = run_example("interactive_visualization.py")
+        assert "interactive launch viz" in out
+        assert "sustains rate" in out
+
+    def test_fragment_tracking(self):
+        out = run_example("fragment_tracking.py")
+        assert "split" in out
+        assert "separated into" in out
+
+    def test_flame_front_pipeline(self):
+        out = run_example("flame_front_pipeline.py")
+        assert "Measured mean front speed" in out
+
+    def test_crack_detection_pipeline(self, tmp_path):
+        out = run_example("crack_detection_pipeline.py", str(tmp_path),
+                          timeout=400)
+        assert "break detected" in out
+        assert "Post-branch analyses:" in out
+        assert list(tmp_path.glob("*.bp"))

@@ -1,0 +1,102 @@
+"""Tests for the experiment runner API, renderer, and CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.report import format_table, render, sparkline
+from repro.experiments.__main__ import main
+
+
+class TestRunners:
+    def test_registry_covers_every_table_and_figure(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "fig4", "fig5", "fig6",
+            "fig7", "fig8", "fig9", "fig10",
+        }
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_table_runners_shape(self):
+        t1 = run_experiment("table1")
+        assert {r["component"] for r in t1["rows"]} >= {"helper", "bonds", "csym", "cna"}
+        t2 = run_experiment("table2")
+        assert [r["atoms"] for r in t2["rows"]] == [8_819_989, 17_639_979, 35_279_958]
+
+    def test_fig4_runner_series(self):
+        result = run_experiment("fig4", sizes=(1, 4))
+        totals = [row["total_seconds"] for row in result["series"]]
+        assert totals[1] > totals[0]
+
+    def test_fig5_runner_series(self):
+        result = run_experiment("fig5", sizes=(1, 2))
+        for row in result["series"]:
+            assert row["writer_pause_seconds"] > row["manager_seconds"]
+
+    def test_fig6_runner_series(self):
+        result = run_experiment("fig6", ratios=((16, 2), (64, 2)), repeats=1)
+        assert all(row["committed"] for row in result["series"])
+
+    def test_fig7_runner_json_serializable(self):
+        result = run_experiment("fig7", steps=15, include_baseline=False)
+        blob = json.dumps(result)
+        assert "steal helper->bonds" in blob
+
+    def test_fig9_runner_offline(self):
+        result = run_experiment("fig9", steps=50)
+        assert result["managed"]["containers"]["bonds"]["offline"]
+        assert result["managed"]["blocked_seconds"] == 0.0
+
+
+class TestReport:
+    def test_sparkline_scales(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_series(self):
+        assert set(sparkline([70.0, 70.0 + 1e-9, 70.0])) == {"▁"}
+
+    def test_sparkline_resamples_long_series(self):
+        assert len(sparkline(list(range(500)), width=40)) == 40
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_rows_result(self):
+        text = render(run_experiment("table1"))
+        assert "table1" in text and "bonds" in text
+
+    def test_render_pipeline_result(self):
+        result = run_experiment("fig7", steps=12, include_baseline=False)
+        text = render(result)
+        assert "managed" in text
+        assert "container" in text
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["table2", "--quiet"]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert main(["table1", "--json", str(out), "--quiet"]) == 0
+        data = json.loads(out.read_text())
+        assert "table1" in data
+
+    def test_unknown_experiment_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figZZ"])
+
+    def test_renders_to_stdout(self, capsys):
+        main(["table2"])
+        captured = capsys.readouterr()
+        assert "269.2" in captured.out

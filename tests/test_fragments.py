@@ -1,0 +1,144 @@
+"""Tests for fragment detection and tracking (the CTH use case)."""
+
+import numpy as np
+import pytest
+
+from repro.lammps import hex_lattice
+from repro.lammps.crack import BOND_CUTOFF, CrackExperiment
+from repro.smartpointer import bonds_adjacency
+from repro.smartpointer.fragments import FragmentTracker, find_fragments
+
+
+def two_clusters(gap=10.0, n_each=20, seed=0):
+    """Two well-separated random blobs; bonds never cross the gap."""
+    rng = np.random.default_rng(seed)
+    a = rng.random((n_each, 2))
+    b = rng.random((n_each, 2)) + np.array([gap, 0.0])
+    pos = np.vstack([a, b])
+    pairs = bonds_adjacency(pos, 1.6, "celllist")
+    return pos, pairs
+
+
+class TestFindFragments:
+    def test_intact_lattice_is_one_fragment(self):
+        pos, _ = hex_lattice(10, 8)
+        pairs = bonds_adjacency(pos, BOND_CUTOFF, "celllist")
+        labels, count = find_fragments(pairs, len(pos))
+        assert count == 1
+        assert np.all(labels == 0)
+
+    def test_two_clusters_two_fragments(self):
+        pos, pairs = two_clusters()
+        labels, count = find_fragments(pairs, len(pos))
+        assert count == 2
+        assert len(np.unique(labels[:20])) == 1
+        assert len(np.unique(labels[20:])) == 1
+        assert labels[0] != labels[-1]
+
+    def test_no_bonds_every_atom_is_a_fragment(self):
+        labels, count = find_fragments(np.empty((0, 2), dtype=np.int64), 5)
+        assert count == 5
+        assert sorted(labels) == [0, 1, 2, 3, 4]
+
+    def test_min_size_filters_debris(self):
+        # 3 bonded atoms + 2 isolated ones.
+        pairs = np.array([[0, 1], [1, 2]])
+        labels, count = find_fragments(pairs, 5, min_size=2)
+        assert count == 1
+        assert list(labels) == [0, 0, 0, -1, -1]
+
+    def test_empty_system(self):
+        labels, count = find_fragments(np.empty((0, 2), dtype=np.int64), 0)
+        assert count == 0
+        assert len(labels) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_fragments(np.empty((0, 2), dtype=np.int64), -1)
+
+
+class TestFragmentTracker:
+    def test_stable_identity_across_epochs(self):
+        pos, pairs = two_clusters()
+        tracker = FragmentTracker()
+        ids0 = tracker.update(pairs, len(pos))
+        ids1 = tracker.update(pairs, len(pos))
+        np.testing.assert_array_equal(ids0, ids1)
+        assert tracker.fragment_count == 2
+        assert not [e for e in tracker.events if e.kind != "appear" or e.epoch > 0]
+
+    def test_split_detected(self):
+        # Epoch 0: one chain of 6 atoms; epoch 1: the middle bond breaks.
+        whole = np.array([[0, 1], [1, 2], [2, 3], [3, 4], [4, 5]])
+        broken = np.array([[0, 1], [1, 2], [3, 4], [4, 5]])
+        tracker = FragmentTracker(min_size=2)
+        ids0 = tracker.update(whole, 6)
+        ids1 = tracker.update(broken, 6)
+        assert tracker.fragment_count == 2
+        splits = [e for e in tracker.events if e.kind == "split"]
+        assert len(splits) == 1
+        # The surviving half keeps the original id.
+        assert ids1[0] == ids0[0] or ids1[5] == ids0[5]
+
+    def test_merge_detected(self):
+        separate = np.array([[0, 1], [2, 3]])
+        joined = np.array([[0, 1], [1, 2], [2, 3]])
+        tracker = FragmentTracker(min_size=2)
+        ids0 = tracker.update(separate, 4)
+        assert tracker.fragment_count == 2
+        ids1 = tracker.update(joined, 4)
+        assert tracker.fragment_count == 1
+        merges = [e for e in tracker.events if e.kind == "merge"]
+        assert len(merges) == 1
+        assert len(merges[0].fragment_ids) == 2
+
+    def test_vanish_detected(self):
+        tracker = FragmentTracker(min_size=2)
+        tracker.update(np.array([[0, 1], [2, 3]]), 4)
+        tracker.update(np.array([[0, 1]]), 4)  # second pair dissolves
+        vanishes = [e for e in tracker.events if e.kind == "vanish"]
+        assert len(vanishes) == 1
+
+    def test_largest_heir_keeps_id(self):
+        # 5-atom chain splits 4 + 1(debris): the 4-atom side keeps the id.
+        whole = np.array([[0, 1], [1, 2], [2, 3], [3, 4]])
+        broken = np.array([[0, 1], [1, 2], [2, 3]])
+        tracker = FragmentTracker(min_size=2)
+        ids0 = tracker.update(whole, 5)
+        ids1 = tracker.update(broken, 5)
+        assert ids1[0] == ids0[0]
+        assert ids1[4] == -1  # debris
+
+    def test_snapshot_restore_roundtrip(self):
+        """The stateful-analytics contract: a restored tracker behaves as if
+        it had never moved."""
+        pos, pairs = two_clusters()
+        tracker = FragmentTracker()
+        tracker.update(pairs, len(pos))
+        state = tracker.snapshot()
+        clone = FragmentTracker.restore(state)
+        ids_a = tracker.update(pairs, len(pos))
+        ids_b = clone.update(pairs, len(pos))
+        np.testing.assert_array_equal(ids_a, ids_b)
+        assert clone.state_bytes() > 0
+
+    def test_crack_produces_fragments(self):
+        """End-to-end on real physics: the notched plate eventually tracks
+        as more than one fragment."""
+        experiment = CrackExperiment(nx=30, ny=18, md_steps_per_epoch=40)
+        tracker = FragmentTracker(min_size=10)
+        counts = []
+        for _ in range(25):
+            frame = experiment.run_epoch()
+            pairs = bonds_adjacency(frame.snapshot.positions, BOND_CUTOFF, "celllist")
+            tracker.update(pairs, frame.snapshot.natoms)
+            counts.append(tracker.fragment_count)
+            if frame.broken_fraction > 0.08:
+                break
+        assert counts[0] == 1
+        assert max(counts) >= 2  # the plate separated
+        assert any(e.kind == "split" for e in tracker.events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FragmentTracker(min_size=0)

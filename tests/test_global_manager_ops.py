@@ -1,0 +1,142 @@
+"""Tests for global-manager operations and error paths."""
+
+import pytest
+
+from repro import Environment, PipelineBuilder, WeakScalingWorkload
+from repro.simkernel.errors import SimulationError
+
+
+def build(env, spare=4, steps=10, **kwargs):
+    wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=13 + spare,
+                             spare_staging_nodes=spare,
+                             output_interval=15.0, total_steps=steps)
+    kwargs.setdefault("control_interval", 10_000)
+    return PipelineBuilder(env, wl, seed=0, **kwargs).build()
+
+
+class TestIncreaseDecrease:
+    def test_increase_beyond_spares_raises(self):
+        env = Environment()
+        pipe = build(env, spare=2)
+
+        def ctl(env):
+            yield env.timeout(1)
+            yield pipe.global_manager.increase("bonds", 5)
+
+        env.process(ctl(env))
+        with pytest.raises(SimulationError, match="spare"):
+            pipe.run(settle=60)
+
+    def test_decrease_clamped_to_units(self):
+        """Asking to shrink by more than the container holds removes what it
+        can while keeping at least the protocol invariants."""
+        env = Environment()
+        pipe = build(env)
+
+        def ctl(env):
+            yield env.timeout(1)
+            freed = yield pipe.global_manager.decrease("bonds", 3)
+            assert len(freed) == 3
+
+        env.process(ctl(env))
+        pipe.run(settle=120)
+        assert pipe.containers["bonds"].units == 1
+
+    def test_unknown_container_raises(self):
+        env = Environment()
+        pipe = build(env)
+
+        def ctl(env):
+            yield env.timeout(1)
+            yield pipe.global_manager.increase("ghost", 1)
+
+        env.process(ctl(env))
+        with pytest.raises(SimulationError, match="unknown container"):
+            pipe.run(settle=60)
+
+    def test_freed_nodes_return_to_pool(self):
+        env = Environment()
+        pipe = build(env, spare=0)
+        before = pipe.scheduler.free_nodes
+
+        def ctl(env):
+            yield env.timeout(1)
+            freed = yield pipe.global_manager.decrease("csym", 1)
+            for node in freed:
+                pipe.scheduler._free.append(node)
+
+        env.process(ctl(env))
+        pipe.run(settle=120)
+        assert pipe.scheduler.free_nodes == before + 1
+
+
+class TestDependencyGraph:
+    def test_dependents_follow_edges(self):
+        env = Environment()
+        pipe = build(env)
+        gm = pipe.global_manager
+        assert set(gm.dependents_of("bonds")) == {"csym", "cna"}
+        assert gm.dependents_of("csym") == []
+        assert gm.upstream_of("bonds") == ["helper"]
+        gm.stop()
+
+    def test_duplicate_registration_rejected(self):
+        env = Environment()
+        pipe = build(env)
+        with pytest.raises(SimulationError):
+            pipe.global_manager.register(pipe.managers["bonds"])
+        pipe.global_manager.stop()
+
+    def test_offline_cascade_order_downstream_first(self):
+        env = Environment()
+        pipe = build(env, steps=8)
+        order = []
+        original = pipe.global_manager.actions_taken
+
+        def ctl(env):
+            yield env.timeout(30)
+            affected = yield pipe.global_manager.take_offline("bonds")
+            order.extend(affected)
+
+        env.process(ctl(env))
+        pipe.run(settle=300)
+        offline_actions = [a for a in original if a.startswith("offline")]
+        # csym/cna (dependents) go down before bonds itself.
+        assert offline_actions[-1] == "offline bonds"
+        assert set(order) == {"bonds", "csym", "cna"}
+
+    def test_retire_returns_nodes_to_spares(self):
+        env = Environment()
+        pipe = build(env, spare=0, steps=8)
+
+        def ctl(env):
+            yield env.timeout(30)
+            yield pipe.global_manager.retire("csym")
+
+        env.process(ctl(env))
+        pipe.run(settle=300)
+        assert pipe.containers["csym"].offline
+        assert pipe.scheduler.free_nodes == 3  # csym's allocation
+
+
+class TestSchedulerSpecificAllocation:
+    def test_allocate_specific_claims_exact_nodes(self, env):
+        from repro.cluster import BatchScheduler, Machine
+
+        machine = Machine(env, num_nodes=8)
+        pool = machine.partition("p", 8)
+        scheduler = BatchScheduler(env, pool)
+        wanted = [pool[3], pool[5]]
+        job = scheduler.allocate_specific(wanted, "x")
+        assert job.nodes == wanted
+        assert scheduler.free_nodes == 6
+        with pytest.raises(SimulationError):
+            scheduler.allocate_specific([pool[3]], "y")  # already taken
+
+    def test_allocate_specific_empty_rejected(self, env):
+        from repro.cluster import BatchScheduler, Machine
+
+        machine = Machine(env, num_nodes=4)
+        scheduler = BatchScheduler(env, machine.partition("p", 4))
+        with pytest.raises(ValueError):
+            scheduler.allocate_specific([], "x")

@@ -1,0 +1,229 @@
+"""Tests for the real MD substrate: lattices, neighbours, potential, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.lammps import (
+    CellList,
+    LennardJones,
+    MDSystem,
+    VelocityVerlet,
+    fcc_lattice,
+    hex_lattice,
+    neighbor_pairs,
+    notch,
+)
+from repro.lammps.lattice import R0
+
+
+class TestLattices:
+    def test_hex_count_and_spacing(self):
+        pos, box = hex_lattice(10, 6)
+        assert len(pos) == 60
+        # Nearest-neighbour distance equals the requested spacing.
+        pairs = neighbor_pairs(pos, R0 * 1.05)
+        d = np.linalg.norm(pos[pairs[:, 0]] - pos[pairs[:, 1]], axis=1)
+        assert np.allclose(d, R0, atol=1e-9)
+
+    def test_hex_interior_coordination_is_six(self):
+        pos, box = hex_lattice(12, 12)
+        cells = CellList(pos, R0 * 1.1)
+        interior = [
+            i for i, p in enumerate(pos)
+            if 3 < p[0] < box[0, 1] - 3 and 3 < p[1] < box[1, 1] - 3
+        ]
+        assert interior
+        assert all(len(cells.neighbors_of(i)) == 6 for i in interior)
+
+    def test_fcc_count(self):
+        pos, box = fcc_lattice(3, 4, 5)
+        assert len(pos) == 4 * 3 * 4 * 5
+
+    def test_fcc_interior_coordination_is_twelve(self):
+        pos, box = fcc_lattice(4, 4, 4)
+        cells = CellList(pos, R0 * 1.1)
+        center = box[:, 1] / 2
+        idx = int(np.argmin(np.linalg.norm(pos - center, axis=1)))
+        assert len(cells.neighbors_of(idx)) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hex_lattice(0, 5)
+        with pytest.raises(ValueError):
+            fcc_lattice(1, 1, 0)
+
+    def test_notch_removes_wedge(self):
+        pos, box = hex_lattice(20, 10)
+        tip = np.array([5.0, box[1, 1] / 2])
+        cut = notch(pos, tip, length=6.0, half_width=1.0)
+        assert len(cut) < len(pos)
+        # No surviving atom inside the notch region.
+        inside = (
+            (cut[:, 0] >= tip[0] - 6.0)
+            & (cut[:, 0] <= tip[0])
+            & (np.abs(cut[:, 1] - tip[1]) <= 1.0)
+        )
+        assert not inside.any()
+
+    def test_notch_validation(self):
+        pos, _ = hex_lattice(5, 5)
+        with pytest.raises(ValueError):
+            notch(pos, np.array([1.0]), 1.0, 1.0)
+        with pytest.raises(ValueError):
+            notch(pos, np.array([1.0, 1.0]), -1.0, 1.0)
+
+
+class TestNeighborSearch:
+    def test_celllist_matches_allpairs_2d(self):
+        rng = np.random.default_rng(3)
+        pos = rng.random((300, 2)) * 8
+        naive = {tuple(p) for p in neighbor_pairs(pos, 0.6)}
+        fast = {tuple(p) for p in CellList(pos, 0.6).pairs()}
+        assert naive == fast
+
+    def test_celllist_matches_allpairs_3d(self):
+        rng = np.random.default_rng(4)
+        pos = rng.random((200, 3)) * 4
+        naive = {tuple(p) for p in neighbor_pairs(pos, 0.7)}
+        fast = {tuple(p) for p in CellList(pos, 0.7).pairs()}
+        assert naive == fast
+
+    def test_empty_and_single(self):
+        assert len(neighbor_pairs(np.zeros((0, 2)), 1.0)) == 0
+        assert len(CellList(np.zeros((1, 2)), 1.0).pairs()) == 0
+
+    def test_neighbors_of_symmetry(self):
+        rng = np.random.default_rng(5)
+        pos = rng.random((100, 2)) * 5
+        cells = CellList(pos, 0.8)
+        for i in (0, 17, 50):
+            for j in cells.neighbors_of(i):
+                assert i in cells.neighbors_of(int(j))
+
+    def test_invalid_cutoff(self):
+        with pytest.raises(ValueError):
+            CellList(np.zeros((5, 2)), 0.0)
+        with pytest.raises(ValueError):
+            neighbor_pairs(np.zeros((5, 2)), -1.0)
+
+
+class TestLennardJones:
+    def test_minimum_at_r0(self):
+        lj = LennardJones()
+        r = np.linspace(0.9, 2.0, 2000)
+        e = lj.pair_energy(r)
+        assert r[np.argmin(e)] == pytest.approx(R0, abs=1e-3)
+
+    def test_zero_beyond_cutoff(self):
+        lj = LennardJones(cutoff=2.5)
+        assert lj.pair_energy(np.array([3.0]))[0] == 0.0
+
+    def test_forces_are_gradient(self):
+        """Finite-difference check: F = -dE/dx on a perturbed lattice."""
+        lj = LennardJones()
+        rng = np.random.default_rng(6)
+        pos, _ = hex_lattice(4, 4)
+        pos = pos + rng.normal(0, 0.03, pos.shape)
+        pairs = neighbor_pairs(pos, 2.5)
+        _, forces = lj.energy_forces(pos, pairs)
+        h = 1e-7
+        for atom in range(3):
+            for axis in range(2):
+                shifted = pos.copy()
+                shifted[atom, axis] += h
+                e_plus, _ = lj.energy_forces(shifted, pairs)
+                shifted[atom, axis] -= 2 * h
+                e_minus, _ = lj.energy_forces(shifted, pairs)
+                numeric = -(e_plus - e_minus) / (2 * h)
+                assert forces[atom, axis] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+    def test_newton_third_law(self):
+        lj = LennardJones()
+        pos, _ = hex_lattice(6, 6)
+        pairs = neighbor_pairs(pos, 2.5)
+        _, forces = lj.energy_forces(pos, pairs)
+        assert np.allclose(forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_lattice_near_equilibrium(self):
+        """An ideal hex lattice at R0 spacing has near-zero net forces on
+        interior atoms."""
+        lj = LennardJones()
+        pos, box = hex_lattice(10, 10)
+        pairs = neighbor_pairs(pos, 2.5)
+        _, forces = lj.energy_forces(pos, pairs)
+        interior = (
+            (pos[:, 0] > 3) & (pos[:, 0] < box[0, 1] - 3)
+            & (pos[:, 1] > 3) & (pos[:, 1] < box[1, 1] - 3)
+        )
+        assert np.abs(forces[interior]).max() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LennardJones(epsilon=-1)
+
+
+class TestMDSystem:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            MDSystem(np.zeros(5))
+        with pytest.raises(ValueError):
+            MDSystem(np.zeros((5, 2)), velocities=np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            MDSystem(np.zeros((5, 2)), frozen=np.zeros(4, dtype=bool))
+
+    def test_thermalize_sets_temperature(self):
+        pos, _ = hex_lattice(10, 10)
+        system = MDSystem(pos)
+        system.thermalize(0.5, np.random.default_rng(0))
+        n_dof = system.natoms * 2
+        temp = 2 * system.kinetic_energy() / n_dof
+        assert temp == pytest.approx(0.5, rel=0.15)
+
+    def test_frozen_atoms_stay_put(self):
+        pos, _ = hex_lattice(6, 6)
+        frozen = np.zeros(len(pos), dtype=bool)
+        frozen[:6] = True
+        system = MDSystem(pos, frozen=frozen)
+        system.thermalize(0.1, np.random.default_rng(1))
+        original = system.positions[frozen].copy()
+        integ = VelocityVerlet(system, dt=0.005)
+        integ.step(50)
+        np.testing.assert_array_equal(system.positions[frozen], original)
+
+
+class TestVelocityVerlet:
+    def test_energy_conservation(self):
+        pos, _ = hex_lattice(8, 8)
+        system = MDSystem(pos)
+        system.thermalize(0.05, np.random.default_rng(2))
+        integ = VelocityVerlet(system, dt=0.002, rebuild_every=5)
+        e0 = integ.potential_energy + system.kinetic_energy()
+        integ.step(300)
+        e1 = integ.potential_energy + system.kinetic_energy()
+        assert abs(e1 - e0) / abs(e0) < 1e-4
+
+    def test_thermostat_holds_temperature(self):
+        pos, _ = hex_lattice(8, 8)
+        system = MDSystem(pos)
+        system.thermalize(0.3, np.random.default_rng(3))
+        integ = VelocityVerlet(system, dt=0.005)
+        integ.step(100, rescale_to=0.1)
+        n_dof = system.natoms * 2
+        temp = 2 * system.kinetic_energy() / n_dof
+        assert temp == pytest.approx(0.1, rel=0.05)
+
+    def test_snapshot_copies_state(self):
+        pos, _ = hex_lattice(4, 4)
+        system = MDSystem(pos)
+        integ = VelocityVerlet(system)
+        snap = integ.snapshot()
+        system.positions += 1.0
+        assert not np.allclose(snap.positions, system.positions)
+        assert snap.natoms == len(pos)
+
+    def test_validation(self):
+        pos, _ = hex_lattice(4, 4)
+        with pytest.raises(ValueError):
+            VelocityVerlet(MDSystem(pos), dt=0)
+        with pytest.raises(ValueError):
+            VelocityVerlet(MDSystem(pos), rebuild_every=0)

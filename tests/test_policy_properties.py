@@ -1,0 +1,133 @@
+"""Property-based tests of the management policy's safety invariants.
+
+Whatever the metrics look like, the policy must never: steal more than a
+donor's headroom, grant more than the spare pool holds, take an essential
+container offline, or touch offline/standby containers.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.containers.policy import (
+    ContainerState,
+    Increase,
+    LatencyPolicy,
+    Offline,
+    QueueDerivativePolicy,
+    Steal,
+)
+
+SLA = 15.0
+
+
+@st.composite
+def container_states(draw):
+    names = draw(st.lists(
+        st.sampled_from(["helper", "bonds", "csym", "cna", "viz", "track"]),
+        min_size=1, max_size=6, unique=True,
+    ))
+    states = {}
+    for name in names:
+        units = draw(st.integers(0, 16))
+        latency = draw(st.one_of(st.none(), st.floats(0.1, 1000)))
+        occupancy = draw(st.floats(0, 1))
+        samples = draw(st.lists(
+            st.tuples(st.floats(0, 500), st.floats(0, 1)), max_size=6,
+        ))
+        samples = tuple(sorted(samples))
+        states[name] = ContainerState(
+            name=name,
+            units=units,
+            latency_mean=latency,
+            latency_est=latency,
+            queued=draw(st.integers(0, 50)),
+            queue_samples=tuple(
+                (t, float(draw(st.integers(0, 50)))) for t, _ in samples
+            ),
+            occupancy_samples=samples,
+            buffer_occupancy=occupancy,
+            shortfall=draw(st.integers(0, 20)),
+            headroom=draw(st.integers(0, 8)),
+            essential=draw(st.booleans()),
+            offline=draw(st.booleans()),
+            active=draw(st.booleans()),
+        )
+    return states
+
+
+@given(
+    states=container_states(),
+    spares=st.integers(0, 10),
+    now=st.floats(0, 1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_latency_policy_safety(states, spares, now):
+    policy = LatencyPolicy()
+    actions = policy.decide(states, spares, SLA, now=now, horizon=120)
+    _check_safety(actions, states, spares)
+
+
+@given(
+    states=container_states(),
+    spares=st.integers(0, 10),
+    now=st.floats(0, 1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_queue_policy_safety(states, spares, now):
+    policy = QueueDerivativePolicy()
+    actions = policy.decide(states, spares, SLA, now=now, horizon=120)
+    _check_safety(actions, states, spares)
+
+
+def _check_safety(actions, states, spares):
+    granted = 0
+    for action in actions:
+        if isinstance(action, Increase):
+            granted += action.count
+            assert action.count > 0
+            target = states[action.container]
+            assert not target.offline and target.active and target.units > 0
+        elif isinstance(action, Steal):
+            donor = states[action.donor]
+            recipient = states[action.recipient]
+            assert action.count > 0
+            assert action.count <= donor.headroom
+            assert action.donor != action.recipient
+            assert not donor.offline and donor.active
+            assert not recipient.offline and recipient.active
+        elif isinstance(action, Offline):
+            target = states[action.container]
+            assert not target.essential
+            assert not target.offline and target.active
+    assert granted <= spares
+    # At most one offline decision per round, and only as a last resort
+    # (never alongside a grant to the same container).
+    offline_targets = [a.container for a in actions if isinstance(a, Offline)]
+    assert len(offline_targets) <= 1
+    for target in offline_targets:
+        assert not any(
+            isinstance(a, (Increase, Steal)) and getattr(a, "container", None) == target
+            for a in actions
+        )
+
+
+@given(states=container_states(), spares=st.integers(0, 10))
+@settings(max_examples=100, deadline=None)
+def test_policy_is_deterministic(states, spares):
+    policy = LatencyPolicy()
+    first = policy.decide(states, spares, SLA, now=100, horizon=120)
+    second = policy.decide(states, spares, SLA, now=100, horizon=120)
+    assert first == second
+
+
+@given(states=container_states())
+@settings(max_examples=100, deadline=None)
+def test_no_spares_no_donors_no_growth(states):
+    """With zero spares and zero headroom anywhere, the only possible
+    actions are offline decisions."""
+    starved = {
+        name: ContainerState(**{**s.__dict__, "headroom": 0})
+        for name, s in states.items()
+    }
+    policy = LatencyPolicy()
+    actions = policy.decide(starved, 0, SLA, now=100, horizon=120)
+    assert all(isinstance(a, Offline) for a in actions)

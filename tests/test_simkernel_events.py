@@ -1,0 +1,196 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.simkernel import AllOf, AnyOf, Environment, Event, SimulationError, Timeout
+
+
+class TestEventLifecycle:
+    def test_new_event_is_pending(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+
+    def test_succeed_sets_value(self, env):
+        ev = env.event()
+        ev.succeed(42)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 42
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_succeed_raises(self, env):
+        ev = env.event()
+        ev.succeed()
+        with pytest.raises(SimulationError):
+            ev.succeed()
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_fail_sets_failed(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        assert ev.failed
+        assert not ev.ok
+
+    def test_unhandled_failure_surfaces(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        ev.defuse()
+        env.run()  # no raise
+
+    def test_callbacks_run_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("x")
+        env.run()
+        assert seen == ["x"]
+        assert ev.processed
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        t = env.timeout(5.0)
+        env.run()
+        assert env.now == 5.0
+        assert t.processed
+
+    def test_carries_value(self, env):
+        results = []
+
+        def proc(env):
+            value = yield env.timeout(1.0, value="done")
+            results.append(value)
+
+        env.process(proc(env))
+        env.run()
+        assert results == ["done"]
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_ok(self, env):
+        t = env.timeout(0)
+        env.run()
+        assert t.processed and env.now == 0.0
+
+
+class TestConditions:
+    def test_all_of_waits_for_everything(self, env):
+        log = []
+
+        def proc(env):
+            t1, t2 = env.timeout(1), env.timeout(3)
+            yield env.all_of([t1, t2])
+            log.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert log == [3.0]
+
+    def test_any_of_fires_on_first(self, env):
+        log = []
+
+        def proc(env):
+            t1, t2 = env.timeout(1), env.timeout(3)
+            result = yield env.any_of([t1, t2])
+            log.append((env.now, t1 in result, t2 in result))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(1.0, True, False)]
+
+    def test_unfired_timeout_not_in_condition_value(self, env):
+        """Regression: Timeout carries its value from creation; an unfired
+        deadline must not appear in an AnyOf result."""
+        results = {}
+
+        def proc(env):
+            ev = env.event()
+            deadline = env.timeout(100)
+            env.process(trigger_soon(env, ev))
+            result = yield ev | deadline
+            results["deadline_present"] = deadline in result
+            results["event_present"] = ev in result
+
+        def trigger_soon(env, ev):
+            yield env.timeout(1)
+            ev.succeed("val")
+
+        env.process(proc(env))
+        env.run(until=10)
+        assert results == {"deadline_present": False, "event_present": True}
+
+    def test_and_operator(self, env):
+        done = []
+
+        def proc(env):
+            yield env.timeout(1) & env.timeout(2)
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [2.0]
+
+    def test_condition_value_maps_events(self, env):
+        captured = {}
+
+        def proc(env):
+            t1 = env.timeout(1, value="a")
+            t2 = env.timeout(2, value="b")
+            result = yield env.all_of([t1, t2])
+            captured.update({t1: result[t1], t2: result[t2]})
+
+        env.process(proc(env))
+        env.run()
+        assert list(captured.values()) == ["a", "b"]
+
+    def test_failed_constituent_fails_condition(self, env):
+        outcome = []
+
+        def failer(env, ev):
+            yield env.timeout(1)
+            ev.fail(RuntimeError("inner"))
+
+        def proc(env):
+            ev = env.event()
+            env.process(failer(env, ev))
+            try:
+                yield env.all_of([ev, env.timeout(5)])
+            except RuntimeError as e:
+                outcome.append(str(e))
+
+        env.process(proc(env))
+        env.run()
+        assert outcome == ["inner"]
+
+    def test_cross_environment_condition_rejected(self):
+        env1, env2 = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env1, [env1.timeout(1), env2.timeout(1)])
+
+    def test_empty_any_of_fires_immediately(self, env):
+        done = []
+
+        def proc(env):
+            yield env.any_of([])
+            done.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert done == [0.0]

@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) for the simulation kernel."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simkernel import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_clock_monotonic_and_events_in_order(delays):
+    """Events always process in timestamp order regardless of creation order."""
+    env = Environment()
+    fired = []
+
+    def watcher(env, delay):
+        yield env.timeout(delay)
+        fired.append(env.now)
+
+    for delay in delays:
+        env.process(watcher(env, delay))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert env.now == max(delays)
+
+
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=40),
+    capacity=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_store_fifo_and_conservation(items, capacity):
+    """Every item put is got exactly once, in FIFO order, under any capacity."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    got = []
+
+    def producer(env):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env):
+        for _ in items:
+            value = yield store.get()
+            got.append(value)
+            yield env.timeout(0.1)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == items
+    assert store.size == 0
+    assert store.high_water <= capacity
+
+
+@given(
+    holds=st.lists(st.floats(min_value=0.01, max_value=5, allow_nan=False), min_size=1, max_size=20),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    """Concurrent users never exceed capacity; all requests eventually grant."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    granted = []
+    max_seen = [0]
+
+    def user(env, hold):
+        req = res.request()
+        yield req
+        granted.append(hold)
+        max_seen[0] = max(max_seen[0], res.count)
+        assert res.count <= capacity
+        yield env.timeout(hold)
+        res.release(req)
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert len(granted) == len(holds)
+    assert max_seen[0] <= capacity
+    assert res.count == 0
+
+
+@given(
+    n_reserve=st.integers(min_value=0, max_value=8),
+    n_put=st.integers(min_value=0, max_value=8),
+    capacity=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_reservations_conserve_capacity(n_reserve, n_put, capacity):
+    """items + reservations never exceed capacity; fulfilled items all arrive."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    fulfilled = []
+
+    def reserver(env, index):
+        res = yield store.reserve()
+        assert len(store.items) + store.reserved <= capacity
+        yield env.timeout(0.5)
+        store.fulfill(res, ("r", index))
+
+    def putter(env, index):
+        yield store.put(("p", index))
+        assert len(store.items) + store.reserved <= capacity
+
+    def drainer(env):
+        for _ in range(n_reserve + n_put):
+            item = yield store.get()
+            fulfilled.append(item)
+            yield env.timeout(0.2)
+
+    for i in range(n_reserve):
+        env.process(reserver(env, i))
+    for i in range(n_put):
+        env.process(putter(env, i))
+    env.process(drainer(env))
+    env.run()
+    assert len(fulfilled) == n_reserve + n_put
+    assert store.reserved == 0

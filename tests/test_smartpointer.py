@@ -1,0 +1,270 @@
+"""Tests for the SmartPointer analytics kernels and cost models."""
+
+import numpy as np
+import pytest
+
+from repro.lammps import hex_lattice, fcc_lattice
+from repro.lammps.crack import BOND_CUTOFF, CrackExperiment
+from repro.lammps.lattice import R0
+from repro.smartpointer import (
+    SMARTPOINTER_COMPONENTS,
+    SMARTPOINTER_COSTS,
+    adjacency_list,
+    bonds_adjacency,
+    central_symmetry,
+    common_neighbor_analysis,
+    detect_break,
+    helper_merge,
+)
+from repro.smartpointer.bonds import coordination_numbers
+from repro.smartpointer.cna import CNA_FCC, CNA_OTHER, CNA_TRIANGULAR, cna_dense, pair_signatures
+from repro.smartpointer.costs import ComputeModel
+from repro.smartpointer.helper import partition_atoms
+
+
+def make_data(n=60, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "id": np.arange(n, dtype=np.uint32),
+        "x": rng.random(n),
+        "y": rng.random(n),
+    }
+
+
+class TestHelper:
+    def test_merge_restores_order(self):
+        data = make_data()
+        fragments = partition_atoms(data, 4)
+        # Shuffle fragment order: the tree receives them in arrival order.
+        merged = helper_merge(fragments[::-1])
+        np.testing.assert_array_equal(merged["id"], data["id"])
+        np.testing.assert_array_equal(merged["x"], data["x"])
+
+    def test_merge_rejects_duplicates(self):
+        data = make_data(10)
+        with pytest.raises(ValueError, match="duplicate"):
+            helper_merge([data, data])
+
+    def test_merge_rejects_mismatched_fields(self):
+        a = {"id": np.arange(3), "x": np.zeros(3)}
+        b = {"id": np.arange(3, 6), "y": np.zeros(3)}
+        with pytest.raises(ValueError):
+            helper_merge([a, b])
+
+    def test_merge_needs_id(self):
+        with pytest.raises(ValueError):
+            helper_merge([{"x": np.zeros(3)}])
+
+    def test_partition_roundtrip(self):
+        data = make_data(37)
+        fragments = partition_atoms(data, 5)
+        assert sum(len(f["id"]) for f in fragments) == 37
+        merged = helper_merge(fragments)
+        np.testing.assert_array_equal(merged["x"], data["x"])
+
+
+class TestBonds:
+    def test_methods_agree(self):
+        pos, _ = hex_lattice(10, 8)
+        naive = bonds_adjacency(pos, BOND_CUTOFF, "naive")
+        fast = bonds_adjacency(pos, BOND_CUTOFF, "celllist")
+        assert {tuple(p) for p in naive} == {tuple(p) for p in fast}
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            bonds_adjacency(np.zeros((3, 2)), 1.0, "quantum")
+
+    def test_adjacency_list_symmetry(self):
+        pos, _ = hex_lattice(6, 6)
+        pairs = bonds_adjacency(pos, BOND_CUTOFF, "celllist")
+        adj = adjacency_list(pairs, len(pos))
+        for i, neighbors in enumerate(adj):
+            for j in neighbors:
+                assert i in adj[int(j)]
+
+    def test_coordination_interior_is_six(self):
+        pos, box = hex_lattice(12, 12)
+        pairs = bonds_adjacency(pos, BOND_CUTOFF, "celllist")
+        coord = coordination_numbers(pairs, len(pos))
+        interior = (
+            (pos[:, 0] > 3) & (pos[:, 0] < box[0, 1] - 3)
+            & (pos[:, 1] > 3) & (pos[:, 1] < box[1, 1] - 3)
+        )
+        assert np.all(coord[interior] == 6)
+
+
+class TestCSym:
+    def test_perfect_lattice_scores_zero(self):
+        pos, box = hex_lattice(12, 10)
+        csp = central_symmetry(pos, num_neighbors=6, cutoff=1.5)
+        interior = (
+            (pos[:, 0] > 3) & (pos[:, 0] < box[0, 1] - 3)
+            & (pos[:, 1] > 3) & (pos[:, 1] < box[1, 1] - 3)
+        )
+        assert csp[interior].max() < 1e-12
+
+    def test_surface_atoms_score_high(self):
+        pos, box = hex_lattice(12, 10)
+        csp = central_symmetry(pos, num_neighbors=6, cutoff=1.5)
+        edge = pos[:, 1] < 0.1
+        assert csp[edge].min() > 0.5
+
+    def test_fcc_lattice_scores_zero(self):
+        pos, box = fcc_lattice(4, 4, 4)
+        csp = central_symmetry(pos, num_neighbors=12, cutoff=R0 * 1.2)
+        center = box[:, 1] / 2
+        idx = int(np.argmin(np.linalg.norm(pos - center, axis=1)))
+        assert csp[idx] < 1e-12
+
+    def test_odd_neighbor_count_rejected(self):
+        with pytest.raises(ValueError):
+            central_symmetry(np.zeros((4, 2)), num_neighbors=5)
+
+    def test_detect_break_on_real_crack(self):
+        """CSym's break detector fires when (and only when) the tensile test
+        actually breaks bonds — validated against the MD ground truth."""
+        exp = CrackExperiment(nx=30, ny=18, md_steps_per_epoch=40)
+        ref = exp.reference
+        saw_break = False
+        for frame in exp.frames(max_epochs=40):
+            broke, mask = detect_break(frame.snapshot.positions, ref, BOND_CUTOFF)
+            ground_truth = frame.broken_fraction > 0
+            assert broke == ground_truth
+            saw_break = saw_break or broke
+        assert saw_break
+
+    def test_detect_break_empty_reference(self):
+        broke, mask = detect_break(np.zeros((5, 2)), np.empty((0, 2), dtype=int), 1.0)
+        assert not broke
+        assert len(mask) == 0
+
+
+class TestCNA:
+    def test_fcc_interior_labeled(self):
+        pos, box = fcc_lattice(5, 5, 5)
+        pairs = bonds_adjacency(pos, R0 * 1.2, "celllist")
+        labels = common_neighbor_analysis(pairs, len(pos))
+        center = box[:, 1] / 2
+        idx = int(np.argmin(np.linalg.norm(pos - center, axis=1)))
+        assert labels[idx] == CNA_FCC
+
+    def test_triangular_interior_labeled(self):
+        pos, box = hex_lattice(12, 10)
+        pairs = bonds_adjacency(pos, BOND_CUTOFF, "celllist")
+        labels = common_neighbor_analysis(pairs, len(pos))
+        interior = (
+            (pos[:, 0] > 3) & (pos[:, 0] < box[0, 1] - 3)
+            & (pos[:, 1] > 3) & (pos[:, 1] < box[1, 1] - 3)
+        )
+        assert (labels[interior] == CNA_TRIANGULAR).mean() > 0.9
+
+    def test_surface_is_other(self):
+        pos, _ = hex_lattice(8, 8)
+        pairs = bonds_adjacency(pos, BOND_CUTOFF, "celllist")
+        labels = common_neighbor_analysis(pairs, len(pos))
+        corner = int(np.argmin(pos[:, 0] + pos[:, 1]))
+        assert labels[corner] == CNA_OTHER
+
+    def test_crack_faces_become_other(self):
+        """After a crack, formerly-crystalline atoms get relabeled."""
+        exp = CrackExperiment(nx=28, ny=16, md_steps_per_epoch=40)
+        pairs0 = bonds_adjacency(exp.system.positions, BOND_CUTOFF, "celllist")
+        before = (common_neighbor_analysis(pairs0, exp.system.natoms) == CNA_TRIANGULAR).sum()
+        for frame in exp.frames(max_epochs=40):
+            pass
+        pairs1 = bonds_adjacency(frame.snapshot.positions, BOND_CUTOFF, "celllist")
+        after = (common_neighbor_analysis(pairs1, exp.system.natoms) == CNA_TRIANGULAR).sum()
+        assert after < before
+
+    def test_pair_signature_values(self):
+        pos, box = fcc_lattice(4, 4, 4)
+        pairs = bonds_adjacency(pos, R0 * 1.2, "celllist")
+        sigs = pair_signatures(pairs, len(pos))
+        center = box[:, 1] / 2
+        idx = int(np.argmin(np.linalg.norm(pos - center, axis=1)))
+        central_sigs = [s for (i, j), s in sigs.items() if idx in (i, j)]
+        assert central_sigs.count((4, 2, 1)) == 12
+
+    def test_dense_variant_counts_common_neighbors(self):
+        a = np.array(
+            [[0, 1, 1, 0], [1, 0, 1, 1], [1, 1, 0, 0], [0, 1, 0, 0]], dtype=bool
+        )
+        counts = cna_dense(a)
+        # atoms 0 and 1 share neighbour 2 only
+        assert counts[0, 1] == 1
+
+    def test_dense_validation(self):
+        with pytest.raises(ValueError):
+            cna_dense(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            cna_dense(np.array([[0, 1], [0, 0]]))
+
+
+class TestCostModels:
+    def test_table1_complexity_labels(self):
+        assert SMARTPOINTER_COMPONENTS["helper"].complexity == "O(n)"
+        assert SMARTPOINTER_COMPONENTS["bonds"].complexity == "O(n^2)"
+        assert SMARTPOINTER_COMPONENTS["csym"].complexity == "O(n)"
+        assert SMARTPOINTER_COMPONENTS["cna"].complexity == "O(n^3)"
+
+    def test_table1_compute_models(self):
+        assert SMARTPOINTER_COMPONENTS["helper"].compute_models == (ComputeModel.TREE,)
+        assert ComputeModel.PARALLEL in SMARTPOINTER_COMPONENTS["bonds"].compute_models
+        assert ComputeModel.PARALLEL not in SMARTPOINTER_COMPONENTS["csym"].compute_models
+
+    def test_table1_branching_flags(self):
+        assert SMARTPOINTER_COMPONENTS["bonds"].dynamic_branching
+        assert not SMARTPOINTER_COMPONENTS["helper"].dynamic_branching
+        assert not SMARTPOINTER_COMPONENTS["cna"].dynamic_branching
+
+    def test_rr_keeps_per_chunk_time(self):
+        cost = SMARTPOINTER_COSTS["bonds"]
+        t1 = cost.service_time(1_000_000, 1, ComputeModel.ROUND_ROBIN)
+        t8 = cost.service_time(1_000_000, 8, ComputeModel.ROUND_ROBIN)
+        assert t1 == t8
+
+    def test_rr_scales_throughput(self):
+        cost = SMARTPOINTER_COSTS["bonds"]
+        assert cost.throughput(1_000_000, 8) == pytest.approx(
+            8 * cost.throughput(1_000_000, 1)
+        )
+
+    def test_tree_divides_service_time(self):
+        cost = SMARTPOINTER_COSTS["helper"]
+        t1 = cost.service_time(1_000_000, 1, ComputeModel.TREE)
+        t4 = cost.service_time(1_000_000, 4, ComputeModel.TREE)
+        assert t4 == pytest.approx(t1 / 4)
+
+    def test_parallel_has_overhead(self):
+        cost = SMARTPOINTER_COSTS["bonds"]
+        ideal = cost.serial_time(1_000_000) / 16
+        actual = cost.service_time(1_000_000, 16, ComputeModel.PARALLEL)
+        assert actual > ideal
+
+    def test_units_to_sustain_monotone_in_atoms(self):
+        cost = SMARTPOINTER_COSTS["bonds"]
+        needs = [cost.units_to_sustain(n, 15.0) for n in (8_819_989, 17_639_979, 35_279_958)]
+        assert needs[0] < needs[1] < needs[2]
+
+    def test_calibration_shape(self):
+        """The relationships DESIGN.md requires of the figure experiments."""
+        from repro.lammps.workload import atoms_for_nodes
+
+        bonds, helper = SMARTPOINTER_COSTS["bonds"], SMARTPOINTER_COSTS["helper"]
+        # 256 nodes: bonds needs one more replica than its allocation of 4.
+        assert bonds.units_to_sustain(atoms_for_nodes(256), 15.0) == 5
+        # helper is over-provisioned at 4 tree nodes (needs only 2).
+        assert helper.units_to_sustain(atoms_for_nodes(256), 15.0, ComputeModel.TREE) == 2
+        # 512: need exceeds allocation (9) plus spares (4).
+        assert bonds.units_to_sustain(atoms_for_nodes(512), 15.0) > 13
+        # 1024: unreachable with the whole staging area.
+        assert bonds.units_to_sustain(atoms_for_nodes(1024), 15.0) > 24
+
+    def test_validation(self):
+        cost = SMARTPOINTER_COSTS["csym"]
+        with pytest.raises(ValueError):
+            cost.service_time(100, 0)
+        with pytest.raises(ValueError):
+            cost.units_to_sustain(100, 0)
+        with pytest.raises(ValueError):
+            cost.serial_time(-5)

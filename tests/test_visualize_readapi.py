@@ -1,0 +1,145 @@
+"""Tests for the terminal visualizer and the BP series read API."""
+
+import numpy as np
+import pytest
+
+from repro.adios import BpSeries, write_bp
+from repro.lammps import hex_lattice
+from repro.visualize import legend, render_atoms, render_field
+
+
+class TestRenderField:
+    def test_shape_and_charset(self):
+        field = np.random.default_rng(0).random((50, 100))
+        art = render_field(field, width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_gradient_maps_to_ramp(self):
+        field = np.tile(np.linspace(0, 1, 100), (10, 1))
+        art = render_field(field, width=50, height=4)
+        first_col = [line[0] for line in art.splitlines()]
+        last_col = [line[-1] for line in art.splitlines()]
+        assert set(first_col) == {" "}
+        assert set(last_col) == {"@"}
+
+    def test_flat_field_renders_uniform(self):
+        art = render_field(np.full((10, 10), 3.0), width=8, height=4)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_explicit_range(self):
+        # With vmax far above the data, everything stays near the low end.
+        art = render_field(np.ones((5, 5)), vmin=0, vmax=100, width=5, height=2)
+        assert "@" not in art
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_field(np.zeros(10))
+
+    def test_flame_front_looks_like_a_front(self):
+        from repro.s3d import ReactionDiffusion
+
+        solver = ReactionDiffusion(nx=120, ny=20)
+        solver.ignite_left(10)
+        solver.step(400)
+        art = render_field(solver.u, width=60, height=6, vmin=0, vmax=1)
+        lines = art.splitlines()
+        # Left edge burnt (@), right edge cold (space).
+        assert all(line[0] == "@" for line in lines)
+        assert all(line[-1] == " " for line in lines)
+
+
+class TestRenderAtoms:
+    def test_occupancy_raster(self):
+        pos, _ = hex_lattice(10, 8)
+        art = render_atoms(pos, width=30, height=12)
+        assert "o" in art
+        assert len(art.splitlines()) == 12
+
+    def test_labels_get_distinct_glyphs(self):
+        pos = np.array([[0.0, 0.0], [10.0, 0.0]])
+        labels = np.array([0, 1])
+        art = render_atoms(pos, labels, width=20, height=3)
+        flat = art.replace("\n", "").replace(" ", "")
+        assert len(set(flat)) == 2
+
+    def test_debris_renders_as_dot(self):
+        pos = np.array([[0.0, 0.0], [5.0, 5.0]])
+        art = render_atoms(pos, np.array([-1, 2]), width=10, height=5)
+        assert "." in art
+
+    def test_empty_positions(self):
+        art = render_atoms(np.zeros((0, 2)), width=10, height=3)
+        assert art.splitlines() == [" " * 10] * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_atoms(np.zeros((4, 3)))
+        with pytest.raises(ValueError):
+            render_atoms(np.zeros((4, 2)), labels=np.zeros(3))
+
+    def test_legend(self):
+        text = legend([-1, 0, 2])
+        assert ".=debris" in text and "#0" in text and "#2" in text
+
+
+class TestBpSeries:
+    def _make_series(self, directory, prefix="csym", count=4):
+        for ts in range(count):
+            write_bp(
+                directory / f"{prefix}.ts{ts:04d}.bp",
+                {"csp": np.full(5, float(ts))},
+                {"timestep": ts, "provenance": ["helper", "bonds", "csym"],
+                 "completed_offline": ts % 2 == 0},
+            )
+
+    def test_index_ordered(self, tmp_path):
+        self._make_series(tmp_path)
+        series = BpSeries(tmp_path, "csym")
+        assert series.timesteps == [0, 1, 2, 3]
+        assert len(series) == 4
+
+    def test_read_selected_variables(self, tmp_path):
+        self._make_series(tmp_path)
+        step = BpSeries(tmp_path, "csym").read(2, variables=["csp"])
+        assert step.timestep == 2
+        np.testing.assert_array_equal(step.variables["csp"], np.full(5, 2.0))
+
+    def test_missing_variable_raises(self, tmp_path):
+        self._make_series(tmp_path)
+        with pytest.raises(KeyError, match="missing variables"):
+            BpSeries(tmp_path, "csym").read(0, variables=["nope"])
+
+    def test_missing_timestep_raises(self, tmp_path):
+        self._make_series(tmp_path)
+        with pytest.raises(KeyError, match="timestep 99"):
+            BpSeries(tmp_path, "csym").read(99)
+
+    def test_prefix_filters_streams(self, tmp_path):
+        self._make_series(tmp_path, "csym", 3)
+        self._make_series(tmp_path, "cna", 2)
+        assert len(BpSeries(tmp_path, "csym")) == 3
+        assert len(BpSeries(tmp_path, "cna")) == 2
+        assert len(BpSeries(tmp_path)) == 5
+
+    def test_select_by_attribute(self, tmp_path):
+        self._make_series(tmp_path)
+        series = BpSeries(tmp_path, "csym")
+        even = [s.timestep for s in series.select(completed_offline=True)]
+        assert even == [0, 2]
+
+    def test_variable_series(self, tmp_path):
+        self._make_series(tmp_path)
+        steps, values = BpSeries(tmp_path, "csym").variable_series("csp")
+        assert steps == [0, 1, 2, 3]
+        assert [v[0] for v in values] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_nonexistent_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            BpSeries(tmp_path / "nope")
+
+    def test_files_without_timestep_ignored(self, tmp_path):
+        self._make_series(tmp_path, count=2)
+        write_bp(tmp_path / "odd.bp", {"x": np.zeros(2)}, {})
+        assert len(BpSeries(tmp_path)) == 2
