@@ -14,6 +14,20 @@ import sys
 
 import pytest
 
+from repro.perf.cache import KERNEL_CACHE
+from repro.perf.registry import REGISTRY
+
+
+@pytest.fixture(autouse=True)
+def perf_registry():
+    """Fresh perf timers/counters (and an empty kernel cache) per bench, so
+    each bench's ``BENCH_*.json`` / ``extra_info`` numbers are its own."""
+    REGISTRY.reset()
+    KERNEL_CACHE.clear()
+    yield REGISTRY
+    REGISTRY.reset()
+    KERNEL_CACHE.clear()
+
 
 def print_table(title, headers, rows):
     """Render a fixed-width table to stdout (shown with pytest -s or on the

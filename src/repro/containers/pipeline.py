@@ -34,6 +34,7 @@ from repro.evpath.channel import Messenger
 from repro.lammps.driver import LammpsDriver
 from repro.lammps.workload import WeakScalingWorkload
 from repro.monitoring.metrics import Telemetry
+from repro.perf.registry import REGISTRY as PERF
 from repro.smartpointer.component import SMARTPOINTER_COMPONENTS, ComponentSpec
 from repro.smartpointer.costs import ComputeModel
 
@@ -110,17 +111,26 @@ class Pipeline:
         wl = self.driver.workload
         if deadline is None:
             deadline = 4.0 * wl.total_steps * wl.output_interval
-        self.env.run(until=self.env.any_of(
-            [self.driver.finished, self.env.timeout(deadline)]
-        ))
-        finished = self.driver.finished.triggered
-        if finished:
-            self.env.run(until=self.env.now + settle)
-        if self.global_manager is not None:
-            self.global_manager.stop()
-        if self.monitoring_overlay is not None:
-            self.monitoring_overlay.stop()
+        # Wall-clock of the whole DES run lands in the shared perf registry
+        # (the same one the analytics kernels report to), so end-to-end
+        # experiment timings show up in BENCH_kernels.json alongside them.
+        with PERF.timer("pipeline.run"):
+            self.env.run(until=self.env.any_of(
+                [self.driver.finished, self.env.timeout(deadline)]
+            ))
+            finished = self.driver.finished.triggered
+            if finished:
+                self.env.run(until=self.env.now + settle)
+            if self.global_manager is not None:
+                self.global_manager.stop()
+            if self.monitoring_overlay is not None:
+                self.monitoring_overlay.stop()
         return finished
+
+    def perf_snapshot(self) -> dict:
+        """Timers/counters accumulated during this process's runs — the
+        machine-readable view the kernel bench serializes."""
+        return PERF.snapshot()
 
     # -- convenience metrics ------------------------------------------------------------
 
@@ -130,6 +140,7 @@ class Pipeline:
 
     def record_exit(self, chunk) -> None:
         latency = self.env.now - chunk.created_at
+        PERF.count("pipeline.exits")
         self.end_to_end.append((self.env.now, chunk.timestep, latency))
         self.telemetry.record("pipeline", "end_to_end", self.env.now, latency)
         self.telemetry.record("pipeline", "end_to_end_by_step", chunk.timestep, latency)

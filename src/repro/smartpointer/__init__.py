@@ -19,7 +19,7 @@ CNA          O(n^3)      Serial, RR           No
 """
 
 from repro.smartpointer.helper import helper_merge
-from repro.smartpointer.bonds import bonds_adjacency, adjacency_list
+from repro.smartpointer.bonds import bonds_adjacency, adjacency_csr, adjacency_list
 from repro.smartpointer.csym import central_symmetry, detect_break
 from repro.smartpointer.cna import common_neighbor_analysis, CNA_FCC, CNA_HCP, CNA_OTHER
 from repro.smartpointer.costs import ComputeModel, CostModel, SMARTPOINTER_COSTS
@@ -34,6 +34,7 @@ __all__ = [
     "CostModel",
     "SMARTPOINTER_COMPONENTS",
     "SMARTPOINTER_COSTS",
+    "adjacency_csr",
     "adjacency_list",
     "bonds_adjacency",
     "central_symmetry",

@@ -18,6 +18,12 @@ The kernel here is the faithful per-pair set intersection; its cost grows
 with n * k^2 (k = coordination), which at fixed density is linear in n —
 the benchmark reports both the fitted exponent and the dense-matrix variant
 used to exhibit the cubic behaviour.
+
+Neighbour sets come from the shared CSR adjacency (sorted rows, memoized
+per snapshot by the kernel cache), so common neighbours are sorted-array
+intersections instead of per-atom Python set builds; the seed set-based
+kernel is kept as :func:`_reference_pair_signatures` for the equivalence
+tests.
 """
 
 from __future__ import annotations
@@ -26,7 +32,9 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.smartpointer.bonds import adjacency_list
+from repro.perf.cache import KERNEL_CACHE
+from repro.perf.registry import REGISTRY as _perf
+from repro.smartpointer.bonds import _reference_adjacency_list
 
 CNA_FCC = 1
 CNA_HCP = 2
@@ -41,14 +49,14 @@ _ATOM_PATTERNS = {
 }
 
 
-def _longest_chain(members: np.ndarray, adjacency: Dict[int, set]) -> int:
+def _longest_chain(members_set: set, adjacency) -> int:
     """Longest path length (in bonds) within the induced common-neighbor graph.
 
     The common-neighbour sets here are tiny (<= ~6 atoms), so a DFS per
-    member is cheap and exact.
+    member is cheap and exact.  ``adjacency`` maps atom -> iterable of
+    neighbours (a set or a sorted index array).
     """
     best = 0
-    members_set = set(int(m) for m in members)
 
     def dfs(node: int, visited: frozenset) -> int:
         longest = 0
@@ -65,8 +73,40 @@ def _longest_chain(members: np.ndarray, adjacency: Dict[int, set]) -> int:
 def pair_signatures(
     pairs: np.ndarray, natoms: int
 ) -> Dict[Tuple[int, int], Tuple[int, int, int]]:
-    """CNA signature (ncn, nb, lcb) for every bonded pair."""
-    neighbors = adjacency_list(pairs, natoms)
+    """CNA signature (ncn, nb, lcb) for every bonded pair.
+
+    Common neighbours are intersections of the (sorted) CSR adjacency rows
+    shared with the other stages; only the tiny induced-subgraph walks stay
+    in Python.
+    """
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    with _perf.timer("cna.pair_signatures"):
+        indptr, indices = KERNEL_CACHE.csr(pairs, natoms)
+        rows = [indices[indptr[i] : indptr[i + 1]] for i in range(natoms)]
+        signatures: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+        for i, j in pairs:
+            i, j = int(i), int(j)
+            common = np.intersect1d(rows[i], rows[j], assume_unique=True)
+            ncn = len(common)
+            if ncn == 0:
+                signatures[(i, j)] = (0, 0, 0)
+                continue
+            nb = 0
+            for a in common:
+                nb += np.intersect1d(rows[a], common, assume_unique=True).size
+            nb //= 2
+            members_set = set(int(m) for m in common)
+            adjacency = {m: rows[m] for m in members_set}
+            lcb = _longest_chain(members_set, adjacency)
+            signatures[(i, j)] = (ncn, nb, lcb)
+        return signatures
+
+
+def _reference_pair_signatures(
+    pairs: np.ndarray, natoms: int
+) -> Dict[Tuple[int, int], Tuple[int, int, int]]:
+    """Seed set-based implementation (kept for the equivalence tests)."""
+    neighbors = _reference_adjacency_list(pairs, natoms)
     neighbor_sets = [set(int(x) for x in lst) for lst in neighbors]
     adjacency = {i: neighbor_sets[i] for i in range(natoms)}
     signatures: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
@@ -77,19 +117,18 @@ def pair_signatures(
         if ncn == 0:
             signatures[(i, j)] = (0, 0, 0)
             continue
-        members = np.fromiter(common, dtype=np.int64)
         nb = 0
         for a in common:
             nb += len(adjacency[a] & common)
         nb //= 2
-        lcb = _longest_chain(members, adjacency)
+        lcb = _longest_chain(common, adjacency)
         signatures[(i, j)] = (ncn, nb, lcb)
     return signatures
 
 
-def common_neighbor_analysis(pairs: np.ndarray, natoms: int) -> np.ndarray:
-    """Per-atom structural label (CNA_FCC / CNA_HCP / CNA_TRIANGULAR / CNA_OTHER)."""
-    signatures = pair_signatures(pairs, natoms)
+def _labels_from_signatures(
+    signatures: Dict[Tuple[int, int], Tuple[int, int, int]], natoms: int
+) -> np.ndarray:
     per_atom: Dict[int, list] = {i: [] for i in range(natoms)}
     for (i, j), sig in signatures.items():
         per_atom[i].append(sig)
@@ -99,6 +138,17 @@ def common_neighbor_analysis(pairs: np.ndarray, natoms: int) -> np.ndarray:
         key = tuple(sorted(sigs))
         labels[atom] = _ATOM_PATTERNS.get(key, CNA_OTHER)
     return labels
+
+
+def common_neighbor_analysis(pairs: np.ndarray, natoms: int) -> np.ndarray:
+    """Per-atom structural label (CNA_FCC / CNA_HCP / CNA_TRIANGULAR / CNA_OTHER)."""
+    with _perf.timer("cna.labels"):
+        return _labels_from_signatures(pair_signatures(pairs, natoms), natoms)
+
+
+def _reference_common_neighbor_analysis(pairs: np.ndarray, natoms: int) -> np.ndarray:
+    """Seed labeling path (kept for the equivalence tests)."""
+    return _labels_from_signatures(_reference_pair_signatures(pairs, natoms), natoms)
 
 
 def cna_dense(positions_adjacency: np.ndarray) -> np.ndarray:

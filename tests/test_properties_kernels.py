@@ -7,10 +7,37 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.adios import read_bp, write_bp
+from repro.lammps import fcc_lattice, hex_lattice, notch
+from repro.lammps.crack import BOND_CUTOFF
+from repro.lammps.lattice import R0
 from repro.lammps.neighbor import CellList, neighbor_pairs
+from repro.smartpointer.bonds import (
+    _reference_adjacency_list,
+    adjacency_csr,
+    adjacency_list,
+    bonds_adjacency,
+)
+from repro.smartpointer.cna import (
+    _reference_common_neighbor_analysis,
+    _reference_pair_signatures,
+    common_neighbor_analysis,
+    pair_signatures,
+)
 from repro.smartpointer.costs import ComputeModel, CostModel
+from repro.smartpointer.csym import _reference_central_symmetry, central_symmetry
 from repro.smartpointer.fragments import FragmentTracker, find_fragments
 from repro.smartpointer.helper import helper_merge, partition_atoms
+
+
+def _crack_notched_plate(seed=0, nx=16, ny=10, jitter=0.02):
+    """A notched hex plate with thermal-ish jitter: the crack workload's
+    geometry, used to pin old/new kernel equivalence on realistic inputs."""
+    rng = np.random.default_rng(seed)
+    positions, box = hex_lattice(nx, ny)
+    tip = np.array([box[0, 0] + 0.3 * (box[0, 1] - box[0, 0]),
+                    (box[1, 0] + box[1, 1]) / 2.0])
+    positions = notch(positions, tip, length=4.0, half_width=0.6 * R0)
+    return positions + rng.normal(0.0, jitter, positions.shape)
 
 
 # -- BP-lite format ----------------------------------------------------------------
@@ -106,6 +133,119 @@ def test_neighbors_of_consistent_with_pairs(n, seed):
         for j in cells.neighbors_of(i):
             a, b = min(i, int(j)), max(i, int(j))
             assert (a, b) in pair_set
+
+
+# -- vectorized kernels vs seed references ---------------------------------------------
+#
+# The vectorized hot paths must be drop-in: identical pair sets, identical
+# adjacency, CSP within 1e-9, identical CNA signatures/labels — over random
+# clouds, perfect lattices, and the crack workload's notched plates.
+
+
+@given(
+    n=st.integers(2, 120),
+    dim=st.sampled_from([2, 3]),
+    cutoff=st.floats(0.2, 1.5),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_vectorized_pairs_match_reference(n, dim, cutoff, seed):
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, dim)) * 4.0
+    cells = CellList(positions, cutoff)
+    assert {tuple(p) for p in cells.pairs()} == {
+        tuple(p) for p in cells._reference_pairs()
+    }
+
+
+@given(
+    n=st.integers(2, 100),
+    chunk=st.integers(1, 50),
+    cutoff=st.floats(0.2, 1.2),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_chunked_allpairs_identical_to_oneshot(n, chunk, cutoff, seed):
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, 2)) * 3.0
+    one_shot = neighbor_pairs(positions, cutoff, chunk_size=n)
+    chunked = neighbor_pairs(positions, cutoff, chunk_size=chunk)
+    np.testing.assert_array_equal(one_shot, chunked)
+
+
+@given(
+    n=st.integers(1, 90),
+    dim=st.sampled_from([2, 3]),
+    num_neighbors=st.sampled_from([2, 4, 6, 12]),
+    cutoff=st.floats(0.3, 1.2),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_csym_matches_reference_random_clouds(n, dim, num_neighbors, cutoff, seed):
+    rng = np.random.default_rng(seed)
+    positions = rng.random((n, dim)) * 3.0
+    fast = central_symmetry(positions, num_neighbors, cutoff)
+    slow = _reference_central_symmetry(positions, num_neighbors, cutoff)
+    assert np.allclose(fast, slow, rtol=0.0, atol=1e-9)
+
+
+@pytest.mark.parametrize(
+    "positions,num_neighbors,cutoff",
+    [
+        (hex_lattice(12, 10)[0], 6, 1.5),
+        (fcc_lattice(4, 4, 4)[0], 12, R0 * 1.2),
+        (_crack_notched_plate(seed=1), 6, 1.5),
+        (_crack_notched_plate(seed=2, jitter=0.05), 6, 1.5),
+    ],
+    ids=["hex", "fcc", "notched", "notched-hot"],
+)
+def test_csym_matches_reference_lattices(positions, num_neighbors, cutoff):
+    fast = central_symmetry(positions, num_neighbors, cutoff)
+    slow = _reference_central_symmetry(positions, num_neighbors, cutoff)
+    assert np.allclose(fast, slow, rtol=0.0, atol=1e-9)
+
+
+@given(
+    n=st.integers(0, 80),
+    m=st.integers(0, 160),
+    seed=st.integers(0, 10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_adjacency_csr_matches_reference(n, m, seed):
+    rng = np.random.default_rng(seed)
+    if n >= 2 and m:
+        raw = rng.integers(0, n, size=(m, 2))
+        raw = raw[raw[:, 0] != raw[:, 1]]
+        pairs = np.sort(raw, axis=1).astype(np.int64)
+    else:
+        pairs = np.empty((0, 2), dtype=np.int64)
+    fast = adjacency_list(pairs, n)
+    slow = _reference_adjacency_list(pairs, n)
+    assert len(fast) == len(slow) == n
+    for a, b in zip(fast, slow):
+        np.testing.assert_array_equal(a, b)
+    indptr, indices = adjacency_csr(pairs, n)
+    assert indptr[-1] == len(indices) == 2 * len(pairs)
+
+
+@pytest.mark.parametrize(
+    "positions,cutoff",
+    [
+        (hex_lattice(10, 8)[0], BOND_CUTOFF),
+        (fcc_lattice(3, 3, 3)[0], R0 * 1.2),
+        (_crack_notched_plate(seed=3), BOND_CUTOFF),
+    ],
+    ids=["hex", "fcc", "notched"],
+)
+def test_cna_matches_reference(positions, cutoff):
+    pairs = bonds_adjacency(positions, cutoff, "celllist")
+    assert pair_signatures(pairs, len(positions)) == _reference_pair_signatures(
+        pairs, len(positions)
+    )
+    np.testing.assert_array_equal(
+        common_neighbor_analysis(pairs, len(positions)),
+        _reference_common_neighbor_analysis(pairs, len(positions)),
+    )
 
 
 # -- cost models ----------------------------------------------------------------------
