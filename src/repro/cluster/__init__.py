@@ -14,7 +14,7 @@ pieces of those machines that the paper's results actually depend on:
 """
 
 from repro.cluster.node import Nic, Node
-from repro.cluster.network import Network, TransferStats
+from repro.cluster.network import Network, TransferError, TransferStats
 from repro.cluster.machine import Machine, Partition
 from repro.cluster.scheduler import AprunModel, BatchScheduler, Job
 from repro.cluster.presets import franklin, redsky
@@ -28,6 +28,7 @@ __all__ = [
     "Nic",
     "Node",
     "Partition",
+    "TransferError",
     "TransferStats",
     "franklin",
     "redsky",

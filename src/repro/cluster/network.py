@@ -25,7 +25,17 @@ from typing import Dict, Optional, Tuple
 import networkx as nx
 
 from repro.simkernel import Environment
+from repro.simkernel.errors import FaultError
 from repro.cluster.node import Node
+
+
+class TransferError(FaultError):
+    """A transfer lost to an injected fault (dead endpoint, drop, partition).
+
+    Subclasses :class:`FaultError`, so a fire-and-forget transfer failing
+    this way is counted and swallowed by the environment rather than
+    crashing the run; waiters see the exception normally and may retry.
+    """
 
 
 @dataclass
@@ -80,6 +90,9 @@ class Network:
         self.software_overhead = software_overhead
         self.stats = TransferStats()
         self._hops_cache: Dict[Tuple[int, int], int] = {}
+        #: optional :class:`repro.faults.NetworkFaultState`; when set, every
+        #: transfer consults it for drops/partitions/degradations
+        self.faults = None
 
     # -- path metrics -------------------------------------------------------------
 
@@ -122,6 +135,9 @@ class Network:
     def _transfer(self, src: Node, dst: Node, nbytes: float):
         if nbytes < 0:
             raise ValueError(f"negative transfer size {nbytes}")
+        self._check_endpoints(src, dst)
+        if self.faults is not None:
+            self.faults.transit_check(src, dst, nbytes)
         if src is dst:
             # Intra-node move: software overhead only.
             yield self.env.timeout(self.software_overhead)
@@ -134,14 +150,25 @@ class Network:
         waited = self.env.now - start
         try:
             duration = self.ideal_transfer_time(src, dst, nbytes)
+            if self.faults is not None:
+                duration *= self.faults.delay_factor(src, dst)
             yield self.env.timeout(duration)
         finally:
             src.nic.send_channel.release(send_req)
             dst.nic.recv_channel.release(recv_req)
+        # A crash during serialization loses the message at the receiver.
+        self._check_endpoints(src, dst)
         src.nic.bytes_sent += nbytes
         dst.nic.bytes_received += nbytes
         self.stats.record(src.node_id, dst.node_id, nbytes, duration, waited)
         return nbytes
+
+    @staticmethod
+    def _check_endpoints(src: Node, dst: Node) -> None:
+        if src.failed:
+            raise TransferError(f"source node {src.node_id} is down")
+        if dst.failed:
+            raise TransferError(f"destination node {dst.node_id} is down")
 
     def rdma_get(self, reader: Node, target: Node, nbytes: float):
         """Reader-initiated pull (RDMA GET), as used by DataTap/DataStager.

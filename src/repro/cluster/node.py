@@ -61,6 +61,22 @@ class Node:
         self.memory_bytes = float(memory_bytes)
         self._memory_used = 0.0
         self.nic = Nic(env, nic_bandwidth, nic_streams)
+        #: set by fault injection; a failed node drops traffic and computes
+        #: nothing until :meth:`restore` (see :mod:`repro.faults`)
+        self.failed = False
+        #: compute-time multiplier (> 1 under an injected slow-down)
+        self.slow_factor = 1.0
+
+    # -- fault hooks ------------------------------------------------------------
+
+    def fail(self) -> None:
+        """Mark the node crashed (fault injection)."""
+        self.failed = True
+
+    def restore(self) -> None:
+        """Bring the node back after a crash or slow-down."""
+        self.failed = False
+        self.slow_factor = 1.0
 
     # -- memory -----------------------------------------------------------------
 
@@ -110,7 +126,7 @@ class Node:
         for req in requests:
             yield req
         try:
-            yield self.env.timeout(seconds)
+            yield self.env.timeout(seconds * self.slow_factor)
         finally:
             for req in requests:
                 self.cores.release(req)

@@ -79,6 +79,8 @@ class BatchScheduler:
         self._free: List[Node] = list(pool.nodes)
         self._jobs: Dict[int, Job] = {}
         self._next_job_id = 0
+        #: nodes lost to injected crashes; never handed out again
+        self.failed_nodes: List[Node] = []
 
     # -- inventory -------------------------------------------------------------------
 
@@ -92,6 +94,22 @@ class BatchScheduler:
 
     def peek_free(self) -> List[Node]:
         return list(self._free)
+
+    def mark_failed(self, node: Node) -> None:
+        """Quarantine a crashed node: pull it from the free pool and any job.
+
+        Idempotent.  The node stays out of circulation until a (hypothetical)
+        repair returns it via the free list; recovery protocols treat the
+        capacity as permanently lost for the rest of the run.
+        """
+        if node in self.failed_nodes:
+            return
+        self.failed_nodes.append(node)
+        if node in self._free:
+            self._free.remove(node)
+        for job in self._jobs.values():
+            if node in job.nodes:
+                job.nodes.remove(node)
 
     # -- allocation -------------------------------------------------------------------
 

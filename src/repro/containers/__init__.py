@@ -18,6 +18,7 @@ from repro.containers.protocol import ProtocolCost, ProtocolTracer
 from repro.containers.local_manager import LocalManager
 from repro.containers.global_manager import GlobalManager
 from repro.containers.policy import LatencyPolicy, ManagementPolicy, QueueDerivativePolicy
+from repro.containers.recovery import RecoveryManager
 from repro.containers.pipeline import Pipeline, PipelineBuilder, StageConfig
 
 __all__ = [
@@ -31,6 +32,7 @@ __all__ = [
     "ProtocolCost",
     "ProtocolTracer",
     "QueueDerivativePolicy",
+    "RecoveryManager",
     "Replica",
     "StageConfig",
 ]

@@ -46,6 +46,7 @@ class Container:
         essential: Optional[bool] = None,
         writer_buffer_bytes: Optional[float] = None,
         sla_factor: float = 1.0,
+        retain_output: bool = False,
     ):
         if model not in spec.compute_models:
             raise SimulationError(
@@ -78,6 +79,10 @@ class Container:
         self.essential = spec.essential if essential is None else essential
         #: cap on each replica writer's staging buffer (None = node default)
         self.writer_buffer_bytes = writer_buffer_bytes
+        #: fault-tolerance: this stage's writers keep custody of chunks
+        #: until the downstream consumer acks them processed, enabling
+        #: redelivery after a consumer crash (see repro.faults)
+        self.retain_output = retain_output
         if sla_factor <= 0:
             raise ValueError("sla_factor must be positive")
         #: per-container SLA scale (Section III-A: a checkpointing container
@@ -140,7 +145,10 @@ class Container:
     # -- replica lifecycle ----------------------------------------------------------
 
     def add_replica(self, node: Node):
-        passive = self.head_only_io and bool(self.replicas)
+        # Head-only-I/O components have exactly one active head; a newcomer
+        # is passive unless no active head exists (e.g. the head crashed and
+        # this replica is its replacement).
+        passive = self.head_only_io and any(not r.passive for r in self.replicas)
         replica = self._replica_cls(
             self.env, self.messenger, node, self, self._next_replica, passive=passive
         )

@@ -16,6 +16,7 @@ import networkx as nx
 
 from repro.simkernel import Environment, Interrupt
 from repro.simkernel.errors import SimulationError
+from repro.simkernel.resources import Resource
 from repro.cluster.node import Node
 from repro.cluster.scheduler import BatchScheduler
 from repro.containers.local_manager import LocalManager
@@ -70,6 +71,11 @@ class GlobalManager:
         self._occupancy_hist: Dict[str, List] = {}
         self._queue_hist: Dict[str, List] = {}
         self.actions_taken: List[str] = []
+        #: serializes policy actions against crash-recovery protocols so a
+        #: REPLACE never interleaves with a resize of the same container
+        self.control_lock = Resource(env, capacity=1)
+        #: attached RecoveryManager, if fault tolerance is enabled
+        self.recovery = None
         self._recv_proc = env.process(self._recv_loop(), name="gm-recv")
         self._control_proc = env.process(self._control_loop(), name="gm-control")
         self._stopped = False
@@ -107,6 +113,10 @@ class GlobalManager:
     def ingest_report(self, report: dict) -> None:
         """Record one metric report (from a direct message or an overlay)."""
         name = report["container"]
+        if self.recovery is not None:
+            # Manager liveness rides the existing monitoring path: every
+            # report doubles as that local manager's heartbeat.
+            self.recovery.note_report(name)
         self._reports[name] = report
         occ = self._occupancy_hist.setdefault(name, [])
         occ.append((report["time"], report["buffer_occupancy"]))
@@ -158,13 +168,20 @@ class GlobalManager:
                 now=self.env.now,
                 horizon=self.overflow_horizon,
             )
-            for action in actions:
-                if isinstance(action, Increase):
-                    yield self.increase(action.container, action.count)
-                elif isinstance(action, Steal):
-                    yield self.steal(action.donor, action.recipient, action.count)
-                elif isinstance(action, Offline):
-                    yield self.take_offline(action.container)
+            if not actions:
+                continue
+            request = self.control_lock.request()
+            yield request
+            try:
+                for action in actions:
+                    if isinstance(action, Increase):
+                        yield self.increase(action.container, action.count)
+                    elif isinstance(action, Steal):
+                        yield self.steal(action.donor, action.recipient, action.count)
+                    elif isinstance(action, Offline):
+                        yield self.take_offline(action.container)
+            finally:
+                self.control_lock.release(request)
 
     # -- operations ---------------------------------------------------------------------------
 
@@ -181,6 +198,24 @@ class GlobalManager:
                 )
             job = self.scheduler.allocate(count, name=f"incr:{name}")
             nodes = job.nodes
+        dead = [n for n in nodes if n.failed]
+        if dead:
+            # A target node died mid-protocol (e.g. between the donor's
+            # decrease and this increase): abort, quarantine the dead nodes,
+            # and return the survivors to the spare pool rather than handing
+            # a dead node to the recipient.
+            for node in dead:
+                self.scheduler.mark_failed(node)
+            alive = [n for n in nodes if not n.failed]
+            for node in alive:
+                if node not in self.scheduler._free:
+                    self.scheduler._free.append(node)
+            self.actions_taken.append(
+                f"increase {name} aborted ({len(dead)} target nodes dead)"
+            )
+            yield self.env.timeout(0)
+            return {"aborted": True, "units": manager.container.units,
+                    "returned": len(alive)}
         request = Message(
             MessageType.INCREASE_REQUEST,
             sender="global-mgr",
@@ -226,6 +261,20 @@ class GlobalManager:
             )
             return outcome
         freed = yield self.decrease(donor, count)
+        if any(n.failed for n in freed):
+            # The mid-protocol crash case: the trade aborts and the freed
+            # nodes return to the spare pool rather than being lost.
+            for node in freed:
+                if node.failed:
+                    self.scheduler.mark_failed(node)
+                elif node not in self.scheduler._free:
+                    self.scheduler._free.append(node)
+            alive = sum(1 for n in freed if not n.failed)
+            self.actions_taken.append(
+                f"steal {donor}->{recipient} aborted; "
+                f"{alive} freed nodes returned to spare pool"
+            )
+            return []
         if freed:
             yield self.increase(recipient, len(freed), nodes=freed)
         self.actions_taken.append(f"steal {donor}->{recipient} x{len(freed)}")
@@ -367,6 +416,8 @@ class GlobalManager:
 
     def stop(self) -> None:
         self._stopped = True
+        if self.recovery is not None:
+            self.recovery.stop()
         for proc in (self._recv_proc, self._control_proc):
             if proc.is_alive:
                 proc.interrupt("stop")

@@ -13,13 +13,14 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.simkernel import Environment, Interrupt
-from repro.simkernel.errors import SimulationError
+from repro.simkernel.errors import FaultError, SimulationError
 from repro.cluster.node import Node
 from repro.cluster.scheduler import BatchScheduler
 from repro.containers.container import Container
 from repro.containers.protocol import ProtocolTracer
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
+from repro.faults.detect import FailureDetector, HeartbeatMonitor, HeartbeatSender
 from repro.monitoring.metrics import Telemetry
 from repro.smartpointer.costs import ComputeModel
 
@@ -63,6 +64,11 @@ class LocalManager:
         #: override to reroute metric reports (e.g. through a monitoring
         #: overlay instead of direct manager-to-manager messages)
         self.send_report = None
+        #: replica failure detection (None until enable_fault_detection)
+        self.detector: Optional[FailureDetector] = None
+        self._hb_monitor: Optional[HeartbeatMonitor] = None
+        self._hb_senders: dict = {}
+        self._hb_interval = 1.0
         self._control_proc = env.process(self._control_loop(), name=f"cmgr:{container.name}")
         self._monitor_proc = env.process(self._monitor_loop(), name=f"cmon:{container.name}")
 
@@ -93,6 +99,92 @@ class LocalManager:
         needed = self.units_to_sustain(interval)
         return max(0, needed - self.container.units)
 
+    # -- failure detection --------------------------------------------------------------
+
+    def enable_fault_detection(
+        self, lease_timeout: float = 5.0, heartbeat_interval: float = 1.0
+    ) -> None:
+        """Start lease-based detection of this container's replicas.
+
+        Each replica heartbeats a dedicated monitor endpoint on the
+        manager's node (so control protocols cannot head-of-line block
+        liveness); a silent lease raises a REPLICA_SUSPECT to the global
+        manager, which runs the REPLACE protocol.  Scanning suspends while
+        the manager's own node is down — the outage must not convict every
+        replica — and resumes with fresh leases after a rehost.
+        """
+        if self.detector is not None:
+            return
+        self._hb_interval = heartbeat_interval
+        self.detector = FailureDetector(
+            self.env,
+            f"{self.container.name}-fd",
+            lease_timeout,
+            on_suspect=self._on_replica_suspect,
+            suspend_when=lambda: self.node.failed,
+        )
+        self._hb_monitor = HeartbeatMonitor(
+            self.env, self.messenger, f"{self.container.name}-hb",
+            self.node, self.detector,
+        )
+        for replica in self.container.replicas:
+            self.watch_replica(replica)
+        self.detector.start()
+
+    def watch_replica(self, replica) -> None:
+        """Grant a lease and start the heartbeat stream for one replica."""
+        if self.detector is None or replica.name in self._hb_senders:
+            return
+        sender = HeartbeatSender(
+            self.env, self.messenger, replica.name, replica.node,
+            self._hb_monitor.endpoint.name, self._hb_interval,
+        )
+        self._hb_senders[replica.name] = sender
+        self.detector.watch(replica.name)
+        sender.start()
+
+    def unwatch_replica(self, name: str) -> None:
+        if self.detector is None:
+            return
+        sender = self._hb_senders.pop(name, None)
+        if sender is not None:
+            sender.stop()
+        self.detector.unwatch(name)
+
+    def _on_replica_suspect(self, member: str) -> None:
+        self.env.process(self._send_suspect(member), name=f"suspect:{member}")
+
+    def _send_suspect(self, member: str):
+        message = Message(
+            MessageType.REPLICA_SUSPECT,
+            sender=self.endpoint.name,
+            payload={
+                "container": self.container.name,
+                "replica": member,
+                "suspected_at": self.env.now,
+            },
+        )
+        try:
+            yield self.messenger.send(self.node, self.global_name, message)
+        except FaultError:
+            pass  # unreachable global manager; the next scan may retry
+
+    def rehost(self, new_node: Node) -> None:
+        """Move this manager to a surviving node after its host crashed.
+
+        Endpoints re-pin to the new node; the control and monitor loops
+        keep running (they were only unreachable, not lost — the manager's
+        durable state is its container object).  The replica detector
+        resumes scanning with fresh leases via its suspend logic.
+        """
+        self.node = new_node
+        self.endpoint.node = new_node
+        if self._hb_monitor is not None:
+            self._hb_monitor.rehost(new_node)
+        # An overlay leaf is pinned to the dead host; fall back to direct
+        # reports so metric/liveness traffic resumes from the new node.
+        self.send_report = None
+
     # -- control loop ------------------------------------------------------------------
 
     def _control_loop(self):
@@ -104,6 +196,7 @@ class LocalManager:
                         MessageType.INCREASE_REQUEST,
                         MessageType.DECREASE_REQUEST,
                         MessageType.OFFLINE_REQUEST,
+                        MessageType.REPLACE_REQUEST,
                         MessageType.SET_STRIDE,
                         MessageType.SET_HASHING,
                     )
@@ -114,6 +207,8 @@ class LocalManager:
                 yield self.env.process(self._do_increase(msg))
             elif msg.mtype is MessageType.DECREASE_REQUEST:
                 yield self.env.process(self._do_decrease(msg))
+            elif msg.mtype is MessageType.REPLACE_REQUEST:
+                yield self.env.process(self._do_replace(msg))
             elif msg.mtype is MessageType.SET_STRIDE:
                 yield self.env.process(self._do_set_stride(msg))
             elif msg.mtype is MessageType.SET_HASHING:
@@ -164,19 +259,30 @@ class LocalManager:
             replica = container.add_replica(node)
             t0 = self.env.now
             for peer in peers:
-                yield self.messenger.network.transfer(node, peer, 1024)
-                yield self.env.timeout(CONNECTION_SETUP_SECONDS)
-                yield self.messenger.network.transfer(peer, node, 256)
+                try:
+                    yield self.messenger.network.transfer(node, peer, 1024)
+                    yield self.env.timeout(CONNECTION_SETUP_SECONDS)
+                    yield self.messenger.network.transfer(peer, node, 256)
+                except FaultError:
+                    # A dead peer cannot answer the metadata exchange; it is
+                    # itself awaiting recovery, so skip it rather than wedge
+                    # the whole spawn.
+                    record.round(f"peer@{peer.node_id}: unreachable, skipped")
             record.charge("intra_container", self.env.now - t0, messages=2 * len(peers))
             # Stateful components bootstrap the newcomer from a state
             # snapshot held by an existing replica (future-work support).
             state = container.spec.state_bytes(container.natoms_hint)
+            donors = [d for d in donors if not d.node.failed]
             if state > 0 and donors and not replica.passive:
                 t0 = self.env.now
-                yield self.messenger.network.transfer(donors[0].node, node, state)
-                record.charge("state_migration", self.env.now - t0, messages=1)
-                record.round(f"state snapshot -> replica@{node.node_id}")
+                try:
+                    yield self.messenger.network.transfer(donors[0].node, node, state)
+                    record.charge("state_migration", self.env.now - t0, messages=1)
+                    record.round(f"state snapshot -> replica@{node.node_id}")
+                except FaultError:
+                    record.round(f"state snapshot -> replica@{node.node_id}: lost donor")
             record.round(f"replica@{node.node_id}->local: ready")
+            self.watch_replica(replica)
 
     def _relaunch_parallel(self, new_nodes: List[Node], record):
         """MPI resize: tear down all ranks, aprun a bigger job."""
@@ -262,6 +368,79 @@ class LocalManager:
         record.finished_at = self.env.now
         if self.telemetry is not None:
             self.telemetry.mark(self.env.now, f"decrease {container.name} -{count}")
+
+    # -- replace (crash recovery) ----------------------------------------------------------
+
+    def _do_replace(self, msg: Message):
+        """Replace a crashed replica with a fresh one on ``payload['node']``.
+
+        Ordering matters: the dead replica leaves ``container.replicas``
+        *before* the spawn (so the newcomer's peer exchange excludes the
+        dead node), its writers leave the downstream links (their buffered
+        output died with the node), and its reader detaches from the input
+        link *after* the spawn — the newcomer must exist so re-dispatched
+        metadata and redelivered chunks have somewhere to go.
+        """
+        container = self.container
+        payload = msg.payload
+        node: Node = payload["node"]
+        record = self.tracer.begin("replace", container.name, 1, self.env.now)
+        record.round("global->local: replace request")
+        dead = next(
+            (r for r in container.replicas if r.name == payload["replica"]), None
+        )
+        redelivered = 0
+        if dead is not None:
+            if not dead.crashed:
+                dead.crash()
+            self.unwatch_replica(dead.name)
+            if container.input_link is not None:
+                record.round("local->writers: pause")
+                t0 = self.env.now
+                yield container.input_link.pause_writers()
+                record.charge(
+                    "writer_pause",
+                    self.env.now - t0,
+                    messages=2 * len(container.input_link.writers),
+                )
+                record.round("writers->local: paused")
+            container.replicas.remove(dead)
+            for writer in dead.writers.values():
+                # Outputs a downstream reader already pulled have a live
+                # copy there: complete their upstream handoff.  The rest
+                # died in this buffer; their inputs stay unacked upstream
+                # and will be re-produced through redelivery.
+                writer.release_handed_off()
+                if writer.link is not None:
+                    writer.link.remove_writer(writer)
+            yield self.env.process(self._spawn_replicas([node], record))
+            if container.input_link is not None and dead.reader is not None:
+                # Survivors (incl. the newcomer) exist now; hand the dead
+                # reader's backlog back to the link and re-push every chunk
+                # it had pulled but never acked processed.  Link-level dedup
+                # keeps the redelivery idempotent.
+                container.input_link.remove_reader(dead.reader)
+                for writer in container.input_link.writers:
+                    if writer.retain_until_processed:
+                        redelivered += writer.redeliver_unacked(dead.reader.name)
+                record.round(f"redelivered {redelivered} unacked chunks")
+            if container.input_link is not None:
+                yield container.input_link.resume_writers()
+                record.round("local->writers: resume")
+        record.round("local->global: replace complete")
+        reply = msg.reply(
+            MessageType.REPLACE_COMPLETE,
+            sender=self.endpoint.name,
+            payload={"units": container.units, "redelivered": redelivered},
+        )
+        t0 = self.env.now
+        yield self.messenger.send(self.node, self.global_name, reply)
+        record.charge("manager", self.env.now - t0, messages=1)
+        record.finished_at = self.env.now
+        if self.telemetry is not None:
+            self.telemetry.mark(
+                self.env.now, f"replace {container.name}/{payload['replica']}"
+            )
 
     # -- data-flow controls ----------------------------------------------------------------
 
@@ -396,12 +575,26 @@ class LocalManager:
             message = Message(
                 MessageType.METRIC_REPORT, sender=self.endpoint.name, payload=report
             )
-            if self.send_report is not None:
-                yield self.send_report(message)
-            else:
-                yield self.messenger.send(self.node, self.global_name, message)
+            try:
+                if self.send_report is not None:
+                    yield self.send_report(message)
+                else:
+                    yield self.messenger.send(self.node, self.global_name, message)
+            except FaultError:
+                # Reporting is best-effort under faults: a lost report shows
+                # up as manager silence at the global detector, which is the
+                # intended signal; the loop itself must survive.
+                continue
 
     def stop(self) -> None:
         for proc in (self._control_proc, self._monitor_proc):
             if proc.is_alive:
                 proc.interrupt("stop")
+        if self.detector is not None:
+            self.detector.stop()
+        for sender in self._hb_senders.values():
+            sender.stop()
+        self._hb_senders.clear()
+        if self._hb_monitor is not None:
+            self._hb_monitor.stop()
+            self._hb_monitor = None

@@ -95,6 +95,8 @@ class Pipeline:
         self.global_manager: Optional[GlobalManager] = None
         self.links: Dict[str, DataTapLink] = {}
         self.monitoring_overlay = None
+        self.recovery = None
+        self.fault_injector = None
         self.branch_fired = False
         self.end_to_end: List[tuple] = []  # (exit_time, timestep, latency)
 
@@ -144,6 +146,34 @@ class Pipeline:
         self.end_to_end.append((self.env.now, chunk.timestep, latency))
         self.telemetry.record("pipeline", "end_to_end", self.env.now, latency)
         self.telemetry.record("pipeline", "end_to_end_by_step", chunk.timestep, latency)
+
+    # -- fault injection -------------------------------------------------------------------
+
+    def arm_faults(self, plan):
+        """Attach a :class:`~repro.faults.FaultPlan` to the running pipeline.
+
+        Installs the network fault state on the machine's fabric and starts
+        the cluster injector over every machine node; a node crash takes its
+        resident replicas down with it (violently — recovery rebuilds from
+        upstream custody).  Called after build() so schedules can target the
+        concrete node ids the stages landed on.
+        """
+        from repro.faults import ClusterFaultInjector, NetworkFaultState
+
+        self.machine.network.faults = NetworkFaultState(self.env, plan)
+        injector = ClusterFaultInjector(
+            self.env, plan, self.machine.nodes, scheduler=self.scheduler
+        )
+        injector.on_crash(self._on_node_crash)
+        injector.start()
+        self.fault_injector = injector
+        return injector
+
+    def _on_node_crash(self, node) -> None:
+        for container in self.containers.values():
+            for replica in list(container.replicas):
+                if replica.node is node and not replica.crashed:
+                    replica.crash()
 
     # -- interactive (mid-run) launches ---------------------------------------------------
 
@@ -286,6 +316,11 @@ class PipelineBuilder:
         monitoring: str = "direct",
         stage_buffer_bytes: Optional[float] = None,
         sim_buffer_bytes: Optional[float] = None,
+        fault_plan=None,
+        fault_tolerance: Optional[bool] = None,
+        heartbeat_interval: float = 1.0,
+        lease_timeout: float = 5.0,
+        manager_lease_timeout: Optional[float] = None,
     ):
         self.env = env
         self.workload = workload
@@ -312,6 +347,19 @@ class PipelineBuilder:
         #: these makes the blocking pathology reproducible at small scale
         self.stage_buffer_bytes = stage_buffer_bytes
         self.sim_buffer_bytes = sim_buffer_bytes
+        #: fault tolerance: chunk custody/redelivery, replica heartbeats,
+        #: and a RecoveryManager.  Defaults on when a fault plan is given.
+        self.fault_plan = fault_plan
+        self.fault_tolerance = (
+            fault_tolerance if fault_tolerance is not None else fault_plan is not None
+        )
+        self.heartbeat_interval = heartbeat_interval
+        self.lease_timeout = lease_timeout
+        self.manager_lease_timeout = (
+            manager_lease_timeout
+            if manager_lease_timeout is not None
+            else 4.0 * monitor_interval
+        )
 
     def build(self) -> Pipeline:
         env = self.env
@@ -379,6 +427,7 @@ class PipelineBuilder:
                     if self.sim_buffer_bytes is not None else None
                 ),
                 name=f"lammps-w{i}",
+                retain_until_processed=self.fault_tolerance,
             )
             for i in range(self.num_sim_writers)
         ]
@@ -470,6 +519,7 @@ class PipelineBuilder:
                 natoms_hint=wl.natoms,
                 writer_buffer_bytes=self.stage_buffer_bytes,
                 sla_factor=stage.sla_factor,
+                retain_output=self.fault_tolerance,
             )
             pipe.containers[name] = container
 
@@ -527,6 +577,24 @@ class PipelineBuilder:
                 manager.send_report = (
                     lambda message, _node=manager.node: overlay.submit(_node, message)
                 )
+
+        # Fault tolerance: replica heartbeat leases into each local manager,
+        # manager liveness tracked off the metric-report stream, and the
+        # recovery protocols behind both.
+        if self.fault_tolerance:
+            from repro.containers.recovery import RecoveryManager
+
+            for manager in pipe.managers.values():
+                manager.enable_fault_detection(
+                    lease_timeout=self.lease_timeout,
+                    heartbeat_interval=self.heartbeat_interval,
+                )
+            pipe.recovery = RecoveryManager(
+                env, messenger, gm,
+                manager_lease_timeout=self.manager_lease_timeout,
+            )
+        if self.fault_plan is not None:
+            pipe.arm_faults(self.fault_plan)
 
         return pipe
 

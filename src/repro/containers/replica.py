@@ -5,9 +5,10 @@ from __future__ import annotations
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.simkernel import Environment, Interrupt, Store
+from repro.simkernel.errors import SimulationError
 from repro.cluster.node import Node
 from repro.data import DataChunk
-from repro.datatap.reader import DataTapReader
+from repro.datatap.reader import DataTapReader, PULL_DONE_BYTES
 from repro.datatap.writer import DataTapWriter
 from repro.evpath.channel import Messenger
 
@@ -54,6 +55,7 @@ class Replica:
         self.chunks_processed = 0
         self.busy_time = 0.0
         self.retired = False
+        self.crashed = False
 
         if passive:
             return
@@ -75,6 +77,7 @@ class Replica:
                 env, messenger, node,
                 buffer=container._make_buffer(node, link.name),
                 name=f"{self.name}.w.{link.name}",
+                retain_until_processed=container.retain_output,
             )
             self.writers[link.name] = writer
             link.add_writer(writer)
@@ -97,8 +100,10 @@ class Replica:
                 fragments = self._gather.pop(chunk.timestep)
                 chunk = self._merge(fragments)
             if container.stride > 1 and chunk.timestep % container.stride != 0:
-                # Frequency reduction in effect: skip this timestep.
+                # Frequency reduction in effect: skip this timestep.  A skip
+                # is a terminal outcome for the chunk, so custody ends here.
                 container.skipped += 1
+                self._ack_sources(chunk)
                 continue
             self._service_proc = self.env.process(self._service(chunk))
             try:
@@ -122,6 +127,8 @@ class Replica:
             created_at=min(f.created_at for f in fragments),
         )
         merged.entered_stage_at = min(f.entered_stage_at for f in fragments)
+        for fragment in fragments:
+            merged.sources.extend(fragment.sources)
         return merged
 
     def _service(self, chunk: DataChunk):
@@ -148,8 +155,60 @@ class Replica:
             yield self.node.compute(out.nbytes / (2 * 2**30), cores=1)
             out.integrity = f"xxh64:{out.chunk_id:016x}"
         latency = self.env.now - chunk.entered_stage_at
+        targets = [l for l in self.container.output_links if l.readers]
         yield self.env.process(self.container.emit(out, self))
         self.container.record_completion(chunk, out, latency, self)
+        self._handoff(chunk, out, targets)
+
+    def _handoff(self, in_chunk: DataChunk, out_chunk: DataChunk,
+                 targets) -> None:
+        """End-of-service custody transfer for the input chunk.
+
+        With retaining output writers the input ack is *deferred* until the
+        derived output leaves this node's custody (processed downstream, or
+        flushed to disk) — otherwise a crash after emit but before the
+        downstream pull would lose the timestep from both buffers.  Disk
+        emissions and non-retaining writers ack immediately, as before.
+        """
+        retainers = [
+            self.writers[link.name] for link in targets
+            if link.name in self.writers
+            and self.writers[link.name].retain_until_processed
+        ]
+        if not retainers:
+            self._ack_sources(in_chunk)
+            return
+        pending = {writer.name for writer in retainers}
+
+        def released(writer_name):
+            pending.discard(writer_name)
+            if not pending:
+                self._ack_sources(in_chunk)
+
+        for writer in retainers:
+            writer.defer_parent_ack(
+                out_chunk.chunk_id, lambda name=writer.name: released(name)
+            )
+
+    def _ack_sources(self, chunk: DataChunk) -> None:
+        """Tell retaining upstream writers the chunk is fully processed.
+
+        Bookkeeping is synchronous (custody must not depend on a lossy ack
+        message); the wire cost is charged as fire-and-forget control
+        traffic, like the pull-done notification it mirrors.
+        """
+        link = self.container.input_link
+        if link is None or not chunk.sources:
+            return
+        for writer_name, chunk_id in chunk.sources:
+            try:
+                writer = link.writer_by_name(writer_name)
+            except SimulationError:
+                continue  # writer torn down in the meantime
+            if not writer.retain_until_processed:
+                continue
+            self.messenger.network.transfer(self.node, writer.node, PULL_DONE_BYTES)
+            writer.on_processed(chunk_id)
 
     # -- teardown ----------------------------------------------------------------
 
@@ -163,6 +222,23 @@ class Replica:
             items.extend(fragments)
         self._gather.clear()
         return items
+
+    def crash(self) -> None:
+        """Violent death (the host node crashed).
+
+        Everything resident dies instantly: the worker, the chunk in
+        service, the reader loop.  Nothing is drained — recovery rebuilds
+        from upstream custody (retained writer buffers) instead.  The
+        reader's endpoint stays registered; a dead node still has an
+        address, it just drops traffic until REPLACE cleans it off the
+        link.
+        """
+        self.retired = True
+        self.crashed = True
+        if self._worker is not None and self._worker.is_alive:
+            self._worker.interrupt("retire-hard")
+        if self.reader is not None:
+            self.reader.crash()
 
     def retire(self, hard: bool = False) -> None:
         """Stop the worker (reader teardown is the link's job).

@@ -52,6 +52,11 @@ class DataChunk:
     #: Optional content hash attached for soft-error detection (the
     #: container control feature "add hashes of the data to the output").
     integrity: Optional[str] = None
+    #: ``(writer_name, chunk_id)`` pairs this chunk was pulled from, set by
+    #: the DataTap reader; consumers ack these once the chunk is fully
+    #: processed so retaining writers can release custody.  Deliberately not
+    #: copied by :meth:`derive` — custody does not follow derived outputs.
+    sources: list = field(default_factory=list)
     chunk_id: int = field(default_factory=lambda: next(_CHUNK_IDS))
 
     def derive(

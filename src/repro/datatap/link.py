@@ -36,8 +36,12 @@ class DataTapLink:
         self.readers: List[DataTapReader] = []
         self._writers_by_name: Dict[str, DataTapWriter] = {}
         self._rr = 0
+        #: chunk_ids that have completed a pull on this link — the dedup set
+        #: making redelivery after a reader crash idempotent
+        self.delivered = set()
         #: monitoring
         self.redispatched = 0
+        self.dup_dropped = 0
 
     # -- membership --------------------------------------------------------------------
 
@@ -76,8 +80,11 @@ class DataTapLink:
                 f"{len(pending)} chunks"
             )
         for meta in pending:
-            writer = self.writer_by_name(meta.payload["writer"])
-            if meta.payload["chunk_id"] not in writer.buffer:
+            try:
+                writer = self.writer_by_name(meta.payload["writer"])
+            except SimulationError:
+                continue  # writer itself was torn down (crash recovery)
+            if not writer.needs_delivery(meta.payload["chunk_id"]):
                 continue  # pull completed despite the teardown; nothing to do
             self.redispatched += 1
             target = self.readers[self._rr % len(self.readers)]
@@ -93,6 +100,19 @@ class DataTapLink:
                 ),
             )
 
+    def remove_writer(self, writer: DataTapWriter) -> None:
+        """Detach a writer whose host died; its buffered chunks are lost.
+
+        Metadata already pushed for those chunks becomes orphaned — readers
+        drop it on lookup failure and count it, so the loss is visible
+        rather than fatal.
+        """
+        if writer not in self.writers:
+            raise SimulationError(f"writer {writer.name!r} not on link {self.name!r}")
+        self.writers.remove(writer)
+        del self._writers_by_name[writer.name]
+        writer.link = None
+
     # -- routing ---------------------------------------------------------------------
 
     def writer_by_name(self, name: str) -> DataTapWriter:
@@ -102,10 +122,15 @@ class DataTapLink:
             raise SimulationError(f"unknown writer {name!r} on link {self.name!r}") from None
 
     def next_reader_for(self, writer: DataTapWriter) -> str:
-        """Round-robin target selection for a metadata push."""
+        """Round-robin target selection for a metadata push.
+
+        Crashed (but not yet replaced) readers are skipped while any live
+        reader remains, so new timesteps keep flowing during recovery.
+        """
         if not self.readers:
             raise SimulationError(f"link {self.name!r} has no readers")
-        reader = self.readers[self._rr % len(self.readers)]
+        candidates = [r for r in self.readers if not r.stopped] or self.readers
+        reader = candidates[self._rr % len(candidates)]
         self._rr += 1
         return reader.name
 

@@ -5,9 +5,11 @@ from __future__ import annotations
 from typing import List, Optional, TYPE_CHECKING
 
 from repro.simkernel import Environment, Event, Interrupt, Store
+from repro.simkernel.errors import FaultError, SimulationError
 from repro.cluster.node import Node
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
+from repro.perf.registry import REGISTRY
 
 if TYPE_CHECKING:
     from repro.datatap.link import DataTapLink
@@ -85,10 +87,19 @@ class DataTapReader:
 
     def _pull(self, meta: Message):
         info = meta.payload
-        writer = self.link.writer_by_name(info["writer"])
+        try:
+            writer = self.link.writer_by_name(info["writer"])
+        except SimulationError:
+            # Writer torn down (e.g. its node crashed and was replaced)
+            # after this metadata was pushed; the chunk is unreachable.
+            REGISTRY.count("datatap.orphaned_meta")
+            yield self.env.timeout(0)
+            return
         # Back-pressure: claim queue space *before* moving any data.
-        if info["chunk_id"] not in writer.buffer:
-            # Already pulled through a re-dispatched copy of this metadata.
+        if not writer.needs_delivery(info["chunk_id"]):
+            # Already pulled — through a re-dispatched or redelivered copy of
+            # this metadata.  Idempotent redelivery: drop the duplicate.
+            self._drop_duplicate()
             yield self.env.timeout(0)
             return
         res_event = self.out_queue.reserve()
@@ -98,26 +109,59 @@ class DataTapReader:
             if self.scheduler is not None:
                 token = yield self.scheduler.admit()
             try:
-                yield self.messenger.network.rdma_get(
-                    self.node, writer.node, info["nbytes"]
-                )
+                done = yield from self._pull_with_retry(writer, info)
             finally:
                 if self.scheduler is not None and token is not None:
                     self.scheduler.release(token)
+            if not done:
+                # Unrecoverable transfer faults (writer node dead): give up.
+                self.out_queue.cancel_reservation(res_event)
+                REGISTRY.count("datatap.pull_failed")
+                return
         except Interrupt:
             self.out_queue.cancel_reservation(res_event)
             self.cancelled_meta.append(meta)
             return
-        if info["chunk_id"] not in writer.buffer:
+        if not writer.needs_delivery(info["chunk_id"]) or (
+            self.link is not None and info["chunk_id"] in self.link.delivered
+        ):
+            # A concurrent pull of the same chunk won the race.
             self.out_queue.cancel_reservation(res_event)
+            self._drop_duplicate()
             return
         chunk = writer.buffer.get(info["chunk_id"])
+        chunk.sources = [(writer.name, info["chunk_id"])]
         writer.on_pull_complete(info["chunk_id"])
+        if self.link is not None:
+            self.link.delivered.add(info["chunk_id"])
         # Completion notification traffic (fire-and-forget control message).
         self.messenger.network.transfer(self.node, writer.node, PULL_DONE_BYTES)
         self.chunks_pulled += 1
         self.bytes_pulled += info["nbytes"]
         self.out_queue.fulfill(res_event, chunk)
+
+    def _pull_with_retry(self, writer, info):
+        """RDMA-GET with exponential backoff; False when retries exhaust."""
+        delays = iter(self.messenger.retry.delays())
+        while True:
+            try:
+                yield self.messenger.network.rdma_get(
+                    self.node, writer.node, info["nbytes"]
+                )
+                return True
+            except FaultError:
+                try:
+                    delay = next(delays)
+                except StopIteration:
+                    return False
+                self.messenger.retries += 1
+                REGISTRY.count("evpath.retries")
+                yield self.env.timeout(delay)
+
+    def _drop_duplicate(self) -> None:
+        if self.link is not None:
+            self.link.dup_dropped += 1
+        REGISTRY.count("datatap.dup_dropped")
 
     # -- teardown ---------------------------------------------------------------------
 
@@ -145,10 +189,10 @@ class DataTapReader:
         """Stop the loop; returns metadata messages left undelivered.
 
         Call while upstream writers are paused.  Undelivered metadata —
-        inbox backlog plus the metadata of any pull cancelled mid-flight —
-        is returned so the link can re-dispatch it to surviving readers (no
-        timestep lost); the corresponding chunks remain safely in the
-        writers' buffers.
+        inbox backlog, the metadata of any pull cancelled mid-flight (both
+        by this stop and by an earlier crash) — is returned so the link can
+        re-dispatch it to surviving readers (no timestep lost); the
+        corresponding chunks remain safely in the writers' buffers.
         """
         self.stopped = True
         pending = [
@@ -161,10 +205,27 @@ class DataTapReader:
         ]
         if self._current_meta is not None:
             pending.insert(0, self._current_meta)
+        cancelled, self.cancelled_meta = self.cancelled_meta, []
+        for meta in cancelled:
+            if meta not in pending:
+                pending.append(meta)
         if self._proc.is_alive:
             self._proc.interrupt("stop")
         self.messenger.unregister(self.name)
         return pending
+
+    def crash(self) -> None:
+        """Violent death (node crash): kill the loop, lose nothing gracefully.
+
+        Unlike :meth:`stop` the endpoint stays registered — a crashed node
+        still has an address, it just drops traffic — and no metadata is
+        handed back here: recovery re-pushes from the writers' retained
+        buffers instead (:meth:`DataTapWriter.redeliver_unacked`), and the
+        REPLACE protocol's eventual :meth:`stop` returns the backlog.
+        """
+        self.stopped = True
+        if self._proc.is_alive:
+            self._proc.interrupt("crash")
 
     def __repr__(self) -> str:
         return f"<DataTapReader {self.name!r} pulled={self.chunks_pulled}>"

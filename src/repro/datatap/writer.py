@@ -11,6 +11,7 @@ from repro.data import DataChunk
 from repro.datatap.buffer import StagingBuffer
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
+from repro.perf.registry import REGISTRY
 
 if TYPE_CHECKING:
     from repro.datatap.link import DataTapLink
@@ -45,6 +46,7 @@ class DataTapWriter:
         buffer: Optional[StagingBuffer] = None,
         name: str = "writer",
         pause_flush_delay: float = 0.05,
+        retain_until_processed: bool = False,
     ):
         self.env = env
         self.messenger = messenger
@@ -56,14 +58,31 @@ class DataTapWriter:
         )
         self.link: Optional["DataTapLink"] = None
         self.pause_flush_delay = pause_flush_delay
+        #: fault-tolerance mode: keep custody of a chunk past its pull, until
+        #: the consumer acks it *processed*, so a reader crash can be healed
+        #: by redelivering from the buffer (see :meth:`redeliver_unacked`)
+        self.retain_until_processed = retain_until_processed
 
         self._paused = False
         self._pending_meta: List[DataChunk] = []  # metadata deferred by pause
         self._inflight_meta = 0
         self._drained: Optional[Event] = None
+        #: per-writer chunk sequence numbers (idempotent-redelivery identity)
+        self._next_seq = 0
+        self._chunk_seq: dict = {}
+        #: chunk_id -> reader name the metadata was last pushed to
+        self._assigned: dict = {}
+        #: retained chunk_ids already pulled downstream (a live copy exists)
+        self._pulled = set()
+        #: chunk_id -> callback chaining custody upstream: the producer's
+        #: *input* is only acked once this output chunk is safely handed
+        #: off (processed downstream, or flushed to disk), so a node crash
+        #: between producing and delivering loses no timestep
+        self._parent_acks: dict = {}
         #: monitoring
         self.chunks_written = 0
         self.pause_count = 0
+        self.redelivered = 0
 
     # -- state ------------------------------------------------------------------
 
@@ -87,6 +106,8 @@ class DataTapWriter:
             raise SimulationError(f"writer {self.name!r} is not attached to a link")
         yield self.buffer.insert(chunk)
         self.chunks_written += 1
+        self._chunk_seq[chunk.chunk_id] = self._next_seq
+        self._next_seq += 1
         if self._paused:
             self._pending_meta.append(chunk)
         else:
@@ -96,6 +117,7 @@ class DataTapWriter:
 
     def _push_metadata(self, chunk: DataChunk):
         reader_name = self.link.next_reader_for(self)
+        self._assigned[chunk.chunk_id] = reader_name
         self._inflight_meta += 1
         try:
             meta = Message(
@@ -103,6 +125,7 @@ class DataTapWriter:
                 sender=self.name,
                 payload={
                     "chunk_id": chunk.chunk_id,
+                    "seq": self._chunk_seq.get(chunk.chunk_id),
                     "nbytes": chunk.nbytes,
                     "natoms": chunk.natoms,
                     "timestep": chunk.timestep,
@@ -118,9 +141,94 @@ class DataTapWriter:
                 self._drained.succeed()
                 self._drained = None
 
+    def needs_delivery(self, chunk_id: int) -> bool:
+        """True while the chunk awaits a (re)pull from this buffer.
+
+        False once pulled (retention mode) or released — the signal readers
+        use to drop duplicate metadata instead of pulling twice.
+        """
+        return chunk_id in self.buffer and chunk_id not in self._pulled
+
     def on_pull_complete(self, chunk_id: int) -> None:
-        """Reader confirmed the RDMA pull; free the buffered chunk."""
+        """Reader confirmed the RDMA pull; free the buffered chunk.
+
+        In retention mode custody outlives the pull: the chunk stays
+        buffered until :meth:`on_processed`, so a consumer that dies with
+        the chunk queued (or in service) has not destroyed the only copy.
+        """
+        if self.retain_until_processed:
+            self._pulled.add(chunk_id)
+            return
+        self._forget(chunk_id)
         self.buffer.release(chunk_id)
+
+    def on_processed(self, chunk_id: int) -> None:
+        """Consumer fully processed the chunk; custody ends."""
+        self._forget(chunk_id)
+        if chunk_id in self.buffer:
+            self.buffer.release(chunk_id)
+
+    def _forget(self, chunk_id: int) -> None:
+        self._chunk_seq.pop(chunk_id, None)
+        self._assigned.pop(chunk_id, None)
+        self._pulled.discard(chunk_id)
+        ack = self._parent_acks.pop(chunk_id, None)
+        if ack is not None:
+            ack()
+
+    def defer_parent_ack(self, chunk_id: int, callback) -> None:
+        """Chain custody: run ``callback`` when this chunk's custody ends.
+
+        The producing replica registers its input-ack here instead of
+        firing it at emit time, so the upstream buffer keeps the input
+        until the derived output has itself been safely handed off.
+        """
+        self._parent_acks[chunk_id] = callback
+
+    def release_handed_off(self) -> None:
+        """Crash cleanup: complete the handoff of already-pulled chunks.
+
+        The writer's node died.  Chunks a downstream reader had pulled
+        have a live copy there, so their upstream inputs are acked (re-
+        producing them would deliver the timestep twice); everything else
+        in the buffer died with the node and keeps its input unacked, to
+        be re-produced via upstream redelivery.
+        """
+        for chunk_id in sorted(self._pulled):
+            ack = self._parent_acks.pop(chunk_id, None)
+            if ack is not None:
+                ack()
+
+    def redeliver_unacked(self, reader_name: str) -> int:
+        """Re-push every retained chunk last assigned to ``reader_name``.
+
+        The recovery path after a reader crash: chunks the dead reader had
+        pulled-but-not-processed (and any whose metadata it never consumed)
+        are still in this buffer, so push their metadata again — same chunk
+        id, same sequence number — and let link-level dedup make the
+        redelivery idempotent for chunks that did survive downstream.
+        """
+        count = 0
+        for chunk_id, assigned in sorted(self._assigned.items()):
+            if assigned != reader_name or chunk_id not in self.buffer:
+                continue
+            chunk = self.buffer.get(chunk_id)
+            # The dead reader's copy died with it: custody reverts to
+            # "not delivered" so a later resume() re-pushes it too, and
+            # the link's delivery commit is revoked so the re-pull is not
+            # dropped as a duplicate.
+            self._pulled.discard(chunk_id)
+            if self.link is not None:
+                self.link.delivered.discard(chunk_id)
+            count += 1
+            self.redelivered += 1
+            REGISTRY.count("datatap.redelivered")
+            if self._paused:
+                if chunk not in self._pending_meta:
+                    self._pending_meta.append(chunk)
+            else:
+                self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+        return count
 
     def drain_buffer(self) -> List[DataChunk]:
         """Remove and return every buffered chunk (the offline flush path).
@@ -129,9 +237,16 @@ class DataTapWriter:
         will never be pulled, so the caller writes them to disk instead.
         Deferred metadata is discarded with them.
         """
-        chunks = [self.buffer.get(cid) for cid in list(self.buffer._chunks)]
-        for chunk in chunks:
-            self.buffer.release(chunk.chunk_id)
+        chunks = []
+        for chunk_id in list(self.buffer._chunks):
+            chunk = self.buffer.get(chunk_id)
+            # A retained-but-pulled chunk has a live copy downstream; release
+            # custody without flushing it, or the strand path would write the
+            # timestep twice.
+            if chunk_id not in self._pulled:
+                chunks.append(chunk)
+            self.buffer.release(chunk_id)
+            self._forget(chunk_id)
         self._pending_meta.clear()
         return chunks
 
@@ -162,8 +277,10 @@ class DataTapWriter:
         self._paused = False
         pending, self._pending_meta = self._pending_meta, []
         for chunk in pending:
-            # Skip chunks that were pulled through a re-dispatch while paused.
-            if chunk.chunk_id in self.buffer:
+            # Skip chunks that were pulled through a re-dispatch while paused
+            # (for retaining writers "in the buffer" is not enough — a pulled
+            # chunk is merely in custody and must not be pushed again).
+            if chunk.chunk_id in self.buffer and chunk.chunk_id not in self._pulled:
                 self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
         yield self.env.timeout(0)
         return True

@@ -21,7 +21,7 @@ This package reproduces that functionality on top of the simulated network:
 
 from repro.evpath.messages import Message, MessageType
 from repro.evpath.endpoint import Endpoint
-from repro.evpath.channel import Channel, Messenger
+from repro.evpath.channel import Channel, Messenger, RequestTimeout, RetryPolicy
 from repro.evpath.stone import Stone, StoneGraph
 from repro.evpath.overlay import OverlayTree
 
@@ -32,6 +32,8 @@ __all__ = [
     "MessageType",
     "Messenger",
     "OverlayTree",
+    "RequestTimeout",
+    "RetryPolicy",
     "Stone",
     "StoneGraph",
 ]

@@ -2,14 +2,41 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.simkernel import Environment
-from repro.simkernel.errors import SimulationError
+from repro.simkernel.errors import FaultError, SimulationError
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.evpath.endpoint import Endpoint
 from repro.evpath.messages import Message
+from repro.perf.registry import REGISTRY
+
+
+class RequestTimeout(FaultError):
+    """A request saw no correlated reply within its timeout."""
+
+
+@dataclass
+class RetryPolicy:
+    """Retry-with-exponential-backoff for control-plane sends.
+
+    A send that fails with a :class:`FaultError` (dead endpoint node, drop
+    or partition window) is retried up to ``attempts`` total tries, sleeping
+    ``base_delay * backoff**i`` between them.  Anything that still fails
+    propagates the last error to the sender.
+    """
+
+    attempts: int = 4
+    base_delay: float = 0.05
+    backoff: float = 2.0
+
+    def delays(self):
+        delay = self.base_delay
+        for _ in range(max(0, self.attempts - 1)):
+            yield delay
+            delay *= self.backoff
 
 
 class Messenger:
@@ -22,13 +49,20 @@ class Messenger:
     data plane, which goes through DataTap instead.
     """
 
-    def __init__(self, env: Environment, network: Network):
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.env = env
         self.network = network
+        self.retry = retry if retry is not None else RetryPolicy()
         self._endpoints: Dict[str, Endpoint] = {}
         #: control-plane accounting
         self.messages_sent = 0
         self.bytes_sent = 0
+        self.retries = 0
 
     # -- registry -------------------------------------------------------------
 
@@ -65,21 +99,63 @@ class Messenger:
     def _send(self, src_node: Node, dest: Endpoint, message: Message):
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes
-        yield self.network.transfer(src_node, dest.node, message.size_bytes)
+        delays = iter(self.retry.delays())
+        while True:
+            try:
+                # dest.node is read per attempt: a rehosted endpoint's new
+                # placement takes effect on the retry.
+                yield self.network.transfer(src_node, dest.node, message.size_bytes)
+                break
+            except FaultError:
+                delay = next(delays, None)
+                if delay is None:  # retries exhausted: surface the FaultError
+                    raise
+                self.retries += 1
+                REGISTRY.count("evpath.retries")
+                yield self.env.timeout(delay)
         yield dest.deliver(message)
         return message
 
-    def request(self, src_node: Node, src_endpoint: Endpoint, to: str, message: Message):
-        """Send and wait for the correlated reply; value is the reply message."""
+    def request(
+        self,
+        src_node: Node,
+        src_endpoint: Endpoint,
+        to: str,
+        message: Message,
+        timeout: Optional[float] = None,
+    ):
+        """Send and wait for the correlated reply; value is the reply message.
+
+        With ``timeout`` set, a reply that does not arrive in time fails the
+        request with :class:`RequestTimeout` (a :class:`FaultError`, so
+        callers can treat it as routine and retry at protocol level).
+        """
         return self.env.process(
-            self._request(src_node, src_endpoint, to, message),
+            self._request(src_node, src_endpoint, to, message, timeout),
             name=f"request {message.mtype.value}",
         )
 
-    def _request(self, src_node: Node, src_endpoint: Endpoint, to: str, message: Message):
+    def _request(
+        self,
+        src_node: Node,
+        src_endpoint: Endpoint,
+        to: str,
+        message: Message,
+        timeout: Optional[float] = None,
+    ):
         yield self.send(src_node, to, message)
-        reply = yield src_endpoint.recv_reply(message)
-        return reply
+        reply_get = src_endpoint.recv_reply(message)
+        if timeout is None:
+            reply = yield reply_get
+            return reply
+        timer = self.env.timeout(timeout)
+        yield self.env.any_of([reply_get, timer])
+        if not reply_get.triggered:
+            src_endpoint._inbox.cancel_get(reply_get)
+            raise RequestTimeout(
+                f"no reply to {message!r} from {to!r} within {timeout}s"
+            )
+        return reply_get.value
 
 
 class Channel:

@@ -42,6 +42,11 @@ class MessageType(Enum):
     # Monitoring
     METRIC_REPORT = "metric_report"
     METRIC_AGGREGATE = "metric_aggregate"
+    # Failure detection and recovery (repro.faults)
+    HEARTBEAT = "heartbeat"
+    REPLICA_SUSPECT = "replica_suspect"
+    REPLACE_REQUEST = "replace_request"
+    REPLACE_COMPLETE = "replace_complete"
     # Queries between managers
     SPEEDUP_QUERY = "speedup_query"
     SPEEDUP_REPLY = "speedup_reply"

@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.simkernel import Environment, Interrupt
-from repro.simkernel.errors import SimulationError
+from repro.simkernel.errors import FaultError, SimulationError
 from repro.cluster.node import Node
 from repro.evpath.channel import Messenger
 
@@ -86,6 +86,8 @@ class OverlayTree:
         self.messages = 0
         #: messages arriving at the root vertex's node (hot-spot accounting)
         self.root_ingress = 0
+        #: reports lost on a faulted tree edge (dead node, drop window)
+        self.dropped_reports = 0
 
         self.root = _OverlayVertex(root_node, None)
         self._leaves: Dict[int, _OverlayVertex] = {}
@@ -159,7 +161,13 @@ class OverlayTree:
         current = [record]
         while vertex.parent is not None:
             parent = vertex.parent
-            yield self._send_edge(vertex, parent)
+            try:
+                yield self._send_edge(vertex, parent)
+            except FaultError:
+                # Monitoring is best-effort: a faulted edge loses the
+                # report, it must not kill the reporting process.
+                self.dropped_reports += 1
+                return current
             if parent is self.root:
                 break
             current = self.aggregate(current)
@@ -170,7 +178,11 @@ class OverlayTree:
 
     def _submit_windowed(self, vertex: _OverlayVertex, record: Any):
         parent = vertex.parent
-        yield self._send_edge(vertex, parent)
+        try:
+            yield self._send_edge(vertex, parent)
+        except FaultError:
+            self.dropped_reports += 1
+            return
         parent.buffer.append(record)
 
     def _flush_loop(self, vertex: _OverlayVertex):
@@ -186,7 +198,15 @@ class OverlayTree:
                 for record in records:
                     self.on_report(record)
                 continue
-            yield self._send_edge(vertex, vertex.parent)
+            try:
+                yield self._send_edge(vertex, vertex.parent)
+            except Interrupt:
+                return
+            except FaultError:
+                # The whole window is lost, but the flusher survives to
+                # forward the next one once the fault clears.
+                self.dropped_reports += len(records)
+                continue
             vertex.parent.buffer.extend(records)
 
     def stop(self) -> None:

@@ -1,0 +1,243 @@
+"""Lease-based failure detection over the EVPath control plane.
+
+Detection is hierarchical, mirroring the container management tree:
+replicas send HEARTBEAT messages to their LocalManager's monitor endpoint
+(:class:`HeartbeatSender` → :class:`HeartbeatMonitor`), and LocalManagers'
+periodic METRIC_REPORTs over the monitoring overlay double as their
+heartbeat to the GlobalManager (the GlobalManager calls
+:meth:`FailureDetector.beat` on receipt, so manager liveness rides the
+existing overlay for free).
+
+A member whose lease goes silent past ``lease_timeout`` is *suspected* and
+the detector's ``on_suspect`` callback fires — recovery decides what to do.
+Suspicion is not conviction: a later beat from a suspected member clears it
+and increments :attr:`FailureDetector.false_positives` (slow links and
+degradation windows make this reachable, which is why the accounting
+exists).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.simkernel import Environment, Interrupt
+from repro.simkernel.errors import FaultError
+from repro.cluster.node import Node
+from repro.evpath.channel import Messenger
+from repro.evpath.messages import Message, MessageType
+from repro.perf.registry import REGISTRY
+
+
+class FailureDetector:
+    """Tracks leases for a set of members and suspects the silent ones.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    name:
+        Label for processes and reporting.
+    lease_timeout:
+        Seconds of silence after which a member is suspected.
+    check_interval:
+        Lease-scan period; defaults to a quarter of the timeout.
+    on_suspect:
+        Callback ``fn(member)`` invoked when a member is first suspected.
+    suspend_when:
+        Optional predicate; while it returns True (e.g. the detector's own
+        host node is down) scanning pauses and, on resume, every lease is
+        re-granted so the outage itself does not convict every member.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        lease_timeout: float,
+        check_interval: Optional[float] = None,
+        on_suspect: Optional[Callable[[str], None]] = None,
+        suspend_when: Optional[Callable[[], bool]] = None,
+    ):
+        if lease_timeout <= 0:
+            raise ValueError(f"lease_timeout must be positive, got {lease_timeout}")
+        self.env = env
+        self.name = name
+        self.lease_timeout = float(lease_timeout)
+        self.check_interval = float(check_interval or lease_timeout / 4.0)
+        self.on_suspect = on_suspect
+        self.suspend_when = suspend_when
+        self._last_beat: Dict[str, float] = {}
+        self.suspected = set()
+        #: members suspected and later heard from again
+        self.false_positives = 0
+        #: total beats accepted
+        self.beats = 0
+        self._proc = None
+        self._was_suspended = False
+
+    # -- membership --------------------------------------------------------------
+
+    def watch(self, member: str) -> None:
+        """Start tracking ``member``; grants a fresh lease."""
+        self._last_beat[member] = self.env.now
+
+    def unwatch(self, member: str) -> None:
+        """Stop tracking ``member`` (e.g. it was retired deliberately)."""
+        self._last_beat.pop(member, None)
+        self.suspected.discard(member)
+
+    @property
+    def members(self):
+        return sorted(self._last_beat)
+
+    # -- beats -------------------------------------------------------------------
+
+    def beat(self, member: str) -> None:
+        """Record a heartbeat; clears (and counts) a wrongful suspicion."""
+        if member not in self._last_beat:
+            return  # not ours to track (already unwatched)
+        if member in self.suspected:
+            self.suspected.discard(member)
+            self.false_positives += 1
+            REGISTRY.count("faults.false_positives")
+        self._last_beat[member] = self.env.now
+        self.beats += 1
+        REGISTRY.count("faults.heartbeats_received")
+
+    # -- scanning ----------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.env.process(
+                self._check_loop(), name=f"detector {self.name}"
+            )
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    def _check_loop(self):
+        while True:
+            try:
+                yield self.env.timeout(self.check_interval)
+            except Interrupt:
+                return
+            if self.suspend_when is not None and self.suspend_when():
+                self._was_suspended = True
+                continue
+            if self._was_suspended:
+                # Back from an outage of our own: re-grant every lease so the
+                # outage window does not read as everyone else's death.
+                self._was_suspended = False
+                for member in self._last_beat:
+                    self._last_beat[member] = self.env.now
+                continue
+            now = self.env.now
+            for member in self.members:
+                if member in self.suspected:
+                    continue
+                if now - self._last_beat[member] > self.lease_timeout:
+                    self.suspected.add(member)
+                    REGISTRY.count("faults.suspects")
+                    if self.on_suspect is not None:
+                        self.on_suspect(member)
+
+
+class HeartbeatSender:
+    """Periodic HEARTBEAT from a member to a monitor endpoint.
+
+    The send is fire-and-forget: if the member's node is down the loop
+    idles (a dead node cannot inject), and if the *monitor's* node is down
+    the transfer fails with a :class:`FaultError` that the environment
+    swallows — silence at the detector is exactly the failure signal.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        member: str,
+        node: Node,
+        monitor_endpoint: str,
+        interval: float,
+    ):
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be positive, got {interval}")
+        self.env = env
+        self.messenger = messenger
+        self.member = member
+        self.node = node
+        self.monitor_endpoint = monitor_endpoint
+        self.interval = float(interval)
+        self.sent = 0
+        self._proc = None
+
+    def start(self) -> None:
+        if self._proc is None:
+            self._proc = self.env.process(
+                self._loop(), name=f"heartbeat {self.member}"
+            )
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+
+    def _loop(self):
+        while True:
+            try:
+                yield self.env.timeout(self.interval)
+            except Interrupt:
+                return
+            if self.node.failed:
+                continue  # a dead node sends nothing
+            self.sent += 1
+            REGISTRY.count("faults.heartbeats_sent")
+            self.messenger.send(
+                self.node,
+                self.monitor_endpoint,
+                Message(MessageType.HEARTBEAT, sender=self.member,
+                        payload={"member": self.member}),
+            )
+
+
+class HeartbeatMonitor:
+    """Owns a dedicated endpoint whose HEARTBEAT receipts feed a detector.
+
+    Kept separate from the manager's control endpoint so a long-running
+    control protocol (an increase mid-flight) cannot head-of-line block
+    heartbeats into a false suspicion.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        messenger: Messenger,
+        endpoint_name: str,
+        node: Node,
+        detector: FailureDetector,
+    ):
+        self.env = env
+        self.messenger = messenger
+        self.detector = detector
+        self.endpoint = messenger.endpoint(node, endpoint_name)
+        self._proc = env.process(self._recv_loop(), name=f"hb-monitor {endpoint_name}")
+
+    def rehost(self, node: Node) -> None:
+        """Re-pin the monitor endpoint after its host was replaced."""
+        self.endpoint.node = node
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+        self._proc = None
+        self.messenger.unregister(self.endpoint.name)
+
+    def _recv_loop(self):
+        while True:
+            try:
+                msg = yield self.endpoint.recv(MessageType.HEARTBEAT)
+            except Interrupt:
+                return
+            self.detector.beat(msg.payload["member"])

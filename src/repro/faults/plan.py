@@ -1,0 +1,253 @@
+"""Seeded, deterministic fault schedules.
+
+A :class:`FaultPlan` is the single vocabulary for injected failure in this
+repository: timed cluster faults (node crashes and slow-downs, link
+degradation and partition windows, probabilistic message drops) plus
+*scripted* faults keyed by protocol identity (the D2T transaction layer's
+abort/crash behaviours, see :mod:`repro.transactions.failures`).
+
+Plans are pure data: building one schedules nothing.  The
+:class:`~repro.faults.injector.ClusterFaultInjector` walks the timed events
+against a live cluster, and :class:`~repro.faults.netstate.NetworkFaultState`
+evaluates the link windows per transfer.  Everything a plan will do is fixed
+by its construction arguments, so an identical seed replays the identical
+fault sequence — :meth:`FaultPlan.signature` hashes the full schedule to let
+tests assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class FaultKind(Enum):
+    """The injectable cluster fault kinds."""
+
+    NODE_CRASH = "node_crash"
+    NODE_SLOWDOWN = "node_slowdown"
+    LINK_DEGRADE = "link_degrade"
+    LINK_PARTITION = "link_partition"
+    MESSAGE_DROP = "message_drop"
+
+
+#: kinds that act over a finite window (``duration`` must be positive);
+#: a NODE_CRASH is permanent for the rest of the run
+WINDOWED_KINDS = (
+    FaultKind.NODE_SLOWDOWN,
+    FaultKind.LINK_DEGRADE,
+    FaultKind.LINK_PARTITION,
+    FaultKind.MESSAGE_DROP,
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``targets`` holds the node ids involved; for link kinds an empty tuple
+    means the whole fabric.  ``severity`` is kind-specific: a compute/delay
+    multiplier for slow-downs and degradations, a drop probability for
+    MESSAGE_DROP, unused for crashes and partitions.
+    """
+
+    time: float
+    kind: FaultKind
+    targets: Tuple[int, ...] = ()
+    duration: float = 0.0
+    severity: float = 1.0
+
+    def key(self) -> tuple:
+        """Deterministic ordering/signature key."""
+        return (self.time, self.kind.value, self.targets, self.duration, self.severity)
+
+    @property
+    def end(self) -> float:
+        return self.time + self.duration
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of injectable faults.
+
+    Timed events are added with :meth:`add` (or the per-kind conveniences)
+    and read back, sorted, via :attr:`events`.  Scripted faults — behaviours
+    keyed by protocol identity rather than by time — are registered with
+    :meth:`script` and consumed with :meth:`lookup`; each domain constrains
+    its legal behaviours via :data:`SCRIPT_DOMAINS`.
+    """
+
+    #: legal behaviours per scripted-fault domain
+    SCRIPT_DOMAINS: Dict[str, Tuple[str, ...]] = {
+        "txn": ("abort", "crash", "crash_after_vote"),
+    }
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._events: List[FaultEvent] = []
+        self._scripted: Dict[Tuple[str, object], str] = {}
+        #: scripted (domain, key) pairs whose behaviour was looked up
+        self.triggered = set()
+
+    # -- timed events ----------------------------------------------------------
+
+    def add(
+        self,
+        kind: FaultKind,
+        time: float,
+        targets: Iterable[int] = (),
+        duration: float = 0.0,
+        severity: float = 1.0,
+    ) -> FaultEvent:
+        """Validate and append one timed fault event."""
+        targets = tuple(int(t) for t in targets)
+        if time < 0:
+            raise ValueError(f"fault time must be >= 0, got {time}")
+        if kind in (FaultKind.NODE_CRASH, FaultKind.NODE_SLOWDOWN) and not targets:
+            raise ValueError(f"{kind.value} needs at least one target node")
+        if kind in WINDOWED_KINDS and duration <= 0:
+            raise ValueError(f"{kind.value} needs a positive duration")
+        if kind is FaultKind.NODE_CRASH and duration != 0:
+            raise ValueError("node_crash is permanent; duration must be 0")
+        if kind in (FaultKind.NODE_SLOWDOWN, FaultKind.LINK_DEGRADE) and severity <= 1:
+            raise ValueError(f"{kind.value} severity is a multiplier > 1, got {severity}")
+        if kind is FaultKind.MESSAGE_DROP and not 0 < severity <= 1:
+            raise ValueError(f"message_drop severity is a probability in (0, 1], got {severity}")
+        event = FaultEvent(float(time), kind, targets, float(duration), float(severity))
+        self._events.append(event)
+        return event
+
+    # per-kind conveniences
+
+    def node_crash(self, time: float, node_id: int) -> FaultEvent:
+        return self.add(FaultKind.NODE_CRASH, time, (node_id,))
+
+    def node_slowdown(self, time: float, node_id: int, factor: float,
+                      duration: float) -> FaultEvent:
+        return self.add(FaultKind.NODE_SLOWDOWN, time, (node_id,),
+                        duration=duration, severity=factor)
+
+    def link_degrade(self, time: float, targets: Iterable[int], factor: float,
+                     duration: float) -> FaultEvent:
+        return self.add(FaultKind.LINK_DEGRADE, time, targets,
+                        duration=duration, severity=factor)
+
+    def link_partition(self, time: float, targets: Iterable[int],
+                       duration: float) -> FaultEvent:
+        return self.add(FaultKind.LINK_PARTITION, time, targets, duration=duration)
+
+    def message_drop(self, time: float, targets: Iterable[int], probability: float,
+                     duration: float) -> FaultEvent:
+        return self.add(FaultKind.MESSAGE_DROP, time, targets,
+                        duration=duration, severity=probability)
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """All timed events in deterministic (time-major) order."""
+        return tuple(sorted(self._events, key=FaultEvent.key))
+
+    def events_of(self, kind: FaultKind) -> Tuple[FaultEvent, ...]:
+        return tuple(ev for ev in self.events if ev.kind is kind)
+
+    # -- random generation -----------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        node_ids: Sequence[int],
+        horizon: float,
+        crashes: int = 1,
+        slowdowns: int = 0,
+        degradations: int = 0,
+        drops: int = 0,
+    ) -> "FaultPlan":
+        """Draw a plan from a seeded RNG: same arguments, same plan.
+
+        Event times land in the middle 80% of ``horizon`` so faults hit
+        steady state rather than startup/drain; targets are drawn without
+        replacement where possible.
+        """
+        if not node_ids:
+            raise ValueError("need at least one candidate node")
+        rng = np.random.default_rng(seed)
+        plan = cls(seed=seed)
+        pool = sorted(int(n) for n in node_ids)
+
+        def draw_time() -> float:
+            return float(rng.uniform(0.1 * horizon, 0.9 * horizon))
+
+        crash_targets = rng.choice(pool, size=min(crashes, len(pool)), replace=False)
+        for node_id in crash_targets:
+            plan.node_crash(draw_time(), int(node_id))
+        for _ in range(slowdowns):
+            plan.node_slowdown(
+                draw_time(), int(rng.choice(pool)),
+                factor=float(rng.uniform(1.5, 4.0)),
+                duration=float(rng.uniform(0.05, 0.2) * horizon),
+            )
+        for _ in range(degradations):
+            plan.link_degrade(
+                draw_time(), (int(rng.choice(pool)),),
+                factor=float(rng.uniform(2.0, 8.0)),
+                duration=float(rng.uniform(0.05, 0.2) * horizon),
+            )
+        for _ in range(drops):
+            plan.message_drop(
+                draw_time(), (int(rng.choice(pool)),),
+                probability=float(rng.uniform(0.05, 0.5)),
+                duration=float(rng.uniform(0.02, 0.1) * horizon),
+            )
+        return plan
+
+    # -- scripted faults -------------------------------------------------------
+
+    def script(self, domain: str, key, behaviour: str) -> None:
+        """Register a scripted fault: ``behaviour`` fires when ``key`` is hit.
+
+        Raises ``ValueError`` for an unknown domain or a behaviour outside
+        the domain's vocabulary (matching the legacy FailureInjector
+        contract).
+        """
+        try:
+            valid = self.SCRIPT_DOMAINS[domain]
+        except KeyError:
+            raise ValueError(f"unknown scripted-fault domain {domain!r}") from None
+        if behaviour not in valid:
+            raise ValueError(
+                f"unknown behaviour {behaviour!r} for domain {domain!r}; "
+                f"valid: {valid}"
+            )
+        self._scripted[(domain, key)] = behaviour
+
+    def lookup(self, domain: str, key) -> Optional[str]:
+        """Behaviour scripted for ``key``, or ``None``; records the trigger."""
+        behaviour = self._scripted.get((domain, key))
+        if behaviour is not None:
+            self.triggered.add((domain, key))
+        return behaviour
+
+    def scripted(self, domain: str) -> Dict[object, str]:
+        """All scripted faults registered under ``domain``."""
+        return {key: b for (dom, key), b in self._scripted.items() if dom == domain}
+
+    # -- identity ---------------------------------------------------------------
+
+    def signature(self) -> str:
+        """SHA-256 over the full schedule; equal plans hash equal."""
+        hasher = hashlib.sha256()
+        hasher.update(repr(self.seed).encode())
+        for event in self.events:
+            hasher.update(repr(event.key()).encode())
+        for item in sorted(self._scripted.items(), key=repr):
+            hasher.update(repr(item).encode())
+        return hasher.hexdigest()
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultPlan seed={self.seed} events={len(self._events)} "
+            f"scripted={len(self._scripted)}>"
+        )

@@ -92,6 +92,20 @@ class PerfRegistry:
 
         return decorate
 
+    def record_duration(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``.
+
+        Used for durations the registry cannot time itself — notably
+        *simulated*-time intervals such as fault MTTR, which share the
+        report schema with wall-clock timers.
+        """
+        if not self.enabled:
+            return
+        stats = self._timers.get(name)
+        if stats is None:
+            stats = self._timers[name] = KernelStats(name)
+        stats.record(seconds)
+
     def stats(self, name: str) -> Optional[KernelStats]:
         return self._timers.get(name)
 

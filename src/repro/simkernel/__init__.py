@@ -23,7 +23,7 @@ Resource / Store
     overflow, which drives Figures 9 and 10 of the paper).
 """
 
-from repro.simkernel.errors import Interrupt, SimulationError, StopProcess
+from repro.simkernel.errors import FaultError, Interrupt, SimulationError, StopProcess
 from repro.simkernel.events import AllOf, AnyOf, Condition, Event, Timeout
 from repro.simkernel.core import Environment
 from repro.simkernel.process import Process
@@ -36,6 +36,7 @@ __all__ = [
     "Condition",
     "Environment",
     "Event",
+    "FaultError",
     "FilterStore",
     "Interrupt",
     "Preempted",

@@ -12,7 +12,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Generator, Iterable, Optional
 
-from repro.simkernel.errors import SimulationError
+from repro.simkernel.errors import FaultError, SimulationError
 from repro.simkernel.events import AllOf, AnyOf, Event, NORMAL, Timeout
 from repro.simkernel.process import Process
 
@@ -36,6 +36,8 @@ class Environment:
         self._queue: list = []
         self._eid = 0
         self.active_process: Optional[Process] = None
+        #: fire-and-forget actions lost to injected faults (see :meth:`step`)
+        self.swallowed_faults = 0
 
     # -- clock ----------------------------------------------------------------
 
@@ -89,6 +91,12 @@ class Environment:
             callback(event)
 
         if event.failed and not event.defused:
+            if isinstance(event._value, FaultError):
+                # A fire-and-forget action lost to an injected fault (e.g. a
+                # completion notification racing a node crash) is routine in
+                # a faulty cluster: count it, don't crash the simulation.
+                self.swallowed_faults += 1
+                return
             # A failed event nobody waited on: surface the error instead of
             # silently losing it.
             raise event._value

@@ -7,6 +7,18 @@ class SimulationError(Exception):
     """Base class for errors raised by the simulation kernel."""
 
 
+class FaultError(SimulationError):
+    """An *injected* failure: a dropped message, a dead node, a timed-out
+    request.
+
+    Fault errors model events that are routine in a faulty cluster rather
+    than bugs in the simulation.  The environment treats an unobserved
+    process failing with a :class:`FaultError` as a lost fire-and-forget
+    action (counted, not raised), whereas any other unobserved failure still
+    crashes the run — see :meth:`Environment.step`.
+    """
+
+
 class StopProcess(Exception):
     """Raised inside a process generator to terminate it with a value.
 

@@ -162,6 +162,15 @@ class Store:
         """Request one item; the returned event fires with the item."""
         return StoreGet(self)
 
+    def cancel_get(self, event: StoreGet) -> None:
+        """Withdraw a pending get (e.g. a receive abandoned by a timeout).
+
+        No-op if the get already fired — the caller must then consume or
+        re-store the item itself.
+        """
+        if not event.triggered and event in self._get_queue:
+            self._get_queue.remove(event)
+
     def peek_items(self) -> List[Any]:
         """A copy of the currently stored items (monitoring hook)."""
         return list(self.items)

@@ -1,8 +1,18 @@
-"""Deterministic failure injection for transaction testing."""
+"""Deterministic failure injection for transaction testing.
+
+Since the ``repro.faults`` subsystem landed, scripted transaction faults
+are just one domain (``"txn"``) of a :class:`~repro.faults.FaultPlan`; this
+injector is a thin adapter that keeps the original API (and its validation
+contract) while delegating storage, validation, and trigger accounting to
+the plan.  Passing a shared plan lets a chaos schedule script transaction
+behaviours alongside timed cluster faults under one seed.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Optional, Set, Tuple
+
+from repro.faults.plan import FaultPlan
 
 
 class FailureInjector:
@@ -18,19 +28,21 @@ class FailureInjector:
       problem, as in D2T).
     """
 
-    VALID = ("abort", "crash", "crash_after_vote")
+    DOMAIN = "txn"
+    VALID = FaultPlan.SCRIPT_DOMAINS[DOMAIN]
 
-    def __init__(self):
-        self._faults: Dict[Tuple[str, int], str] = {}
-        self.triggered: Set[Tuple[str, int]] = set()
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
 
     def inject(self, participant: str, txn_id: int, behaviour: str) -> None:
-        if behaviour not in self.VALID:
-            raise ValueError(f"unknown behaviour {behaviour!r}")
-        self._faults[(participant, txn_id)] = behaviour
+        self.plan.script(self.DOMAIN, (participant, txn_id), behaviour)
 
     def check(self, participant: str, txn_id: int) -> Optional[str]:
-        fault = self._faults.get((participant, txn_id))
-        if fault is not None:
-            self.triggered.add((participant, txn_id))
-        return fault
+        return self.plan.lookup(self.DOMAIN, (participant, txn_id))
+
+    @property
+    def triggered(self) -> Set[Tuple[str, int]]:
+        """Keys whose scripted behaviour has fired."""
+        return {
+            key for domain, key in self.plan.triggered if domain == self.DOMAIN
+        }

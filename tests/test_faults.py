@@ -1,0 +1,285 @@
+"""Tests for the repro.faults subsystem: plans, injection, detection."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simkernel import Environment
+from repro.cluster import Machine, TransferError
+from repro.evpath import Messenger
+from repro.faults import (
+    ClusterFaultInjector,
+    FailureDetector,
+    FaultKind,
+    FaultPlan,
+    HeartbeatMonitor,
+    HeartbeatSender,
+    NetworkFaultState,
+)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_signature(self):
+        a = FaultPlan.random(7, node_ids=range(8), horizon=100.0,
+                             crashes=2, slowdowns=1, drops=1)
+        b = FaultPlan.random(7, node_ids=range(8), horizon=100.0,
+                             crashes=2, slowdowns=1, drops=1)
+        assert a.signature() == b.signature()
+        assert a.events == b.events
+
+    def test_different_seed_different_signature(self):
+        a = FaultPlan.random(7, node_ids=range(8), horizon=100.0)
+        b = FaultPlan.random(8, node_ids=range(8), horizon=100.0)
+        assert a.signature() != b.signature()
+
+    def test_events_sorted_by_time(self):
+        plan = FaultPlan()
+        plan.node_crash(50.0, 3)
+        plan.node_crash(10.0, 1)
+        plan.node_slowdown(30.0, 2, factor=2.0, duration=5.0)
+        assert [e.time for e in plan.events] == [10.0, 30.0, 50.0]
+
+    def test_validation(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError, match="target"):
+            plan.add(FaultKind.NODE_CRASH, 1.0)
+        with pytest.raises(ValueError, match="duration"):
+            plan.node_slowdown(1.0, 0, factor=2.0, duration=0.0)
+        with pytest.raises(ValueError, match="multiplier"):
+            plan.node_slowdown(1.0, 0, factor=0.5, duration=5.0)
+        with pytest.raises(ValueError, match="probability"):
+            plan.message_drop(1.0, (0,), probability=1.5, duration=5.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            plan.node_crash(-1.0, 0)
+
+    def test_scripted_validation_and_lookup(self):
+        plan = FaultPlan()
+        with pytest.raises(ValueError, match="unknown behaviour"):
+            plan.script("txn", ("p", 1), "explode")
+        with pytest.raises(ValueError, match="unknown scripted-fault domain"):
+            plan.script("nope", ("p", 1), "abort")
+        plan.script("txn", ("p", 1), "crash")
+        assert plan.lookup("txn", ("p", 2)) is None
+        assert plan.lookup("txn", ("p", 1)) == "crash"
+        assert ("txn", ("p", 1)) in plan.triggered
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        crashes=st.integers(min_value=0, max_value=3),
+        slowdowns=st.integers(min_value=0, max_value=3),
+        drops=st.integers(min_value=0, max_value=3),
+    )
+    def test_any_seeded_plan_replays_identically(self, seed, crashes,
+                                                 slowdowns, drops):
+        """Property: a seeded plan is a pure function of its arguments."""
+        make = lambda: FaultPlan.random(
+            seed, node_ids=range(12), horizon=200.0,
+            crashes=crashes, slowdowns=slowdowns, drops=drops,
+        )
+        a, b = make(), make()
+        assert a.signature() == b.signature()
+        assert a.events == b.events
+
+
+class TestInjector:
+    def test_crash_marks_node_and_scheduler(self, env, machine):
+        from repro.cluster.scheduler import BatchScheduler
+
+        part = machine.partition("pool", 4)
+        sched = BatchScheduler(env, part)
+        plan = FaultPlan()
+        plan.node_crash(5.0, part[1].node_id)
+        seen = []
+        injector = ClusterFaultInjector(env, plan, part.nodes, scheduler=sched)
+        injector.on_crash(seen.append)
+        injector.start()
+        env.run(until=10.0)
+        assert part[1].failed
+        assert part[1] in sched.failed_nodes
+        assert part[1] not in sched._free
+        assert seen == [part[1]]
+
+    def test_slowdown_window_stretches_compute(self, env, machine):
+        node = machine.nodes[0]
+        plan = FaultPlan()
+        plan.node_slowdown(0.0, node.node_id, factor=3.0, duration=10.0)
+        ClusterFaultInjector(env, plan, [node]).start()
+
+        durations = []
+
+        def work():
+            start = env.now
+            yield node.compute(1.0, cores=1)
+            durations.append(env.now - start)
+
+        env.process(work())
+        env.run(until=50.0)
+
+        def work_after():
+            start = env.now
+            yield node.compute(1.0, cores=1)
+            durations.append(env.now - start)
+
+        env.process(work_after())
+        env.run(until=100.0)
+        assert durations[0] == pytest.approx(3.0)
+        assert durations[1] == pytest.approx(1.0)
+
+    def test_identical_seed_identical_trace(self):
+        traces = []
+        for _ in range(2):
+            env = Environment()
+            machine = Machine(env, num_nodes=8)
+            plan = FaultPlan.random(3, node_ids=range(8), horizon=60.0,
+                                    crashes=2, slowdowns=1)
+            injector = ClusterFaultInjector(env, plan, machine.nodes)
+            injector.start()
+            env.run(until=120.0)
+            traces.append(list(injector.trace))
+        assert traces[0] == traces[1]
+
+    def test_unknown_target_raises(self, env, machine):
+        plan = FaultPlan()
+        plan.node_crash(1.0, 999)
+        ClusterFaultInjector(env, plan, machine.nodes).start()
+        with pytest.raises(ValueError, match="unknown node 999"):
+            env.run(until=5.0)
+
+
+class TestNetworkFaultState:
+    def test_partition_window(self, env, machine):
+        a, b = machine.nodes[0], machine.nodes[1]
+        plan = FaultPlan()
+        plan.link_partition(10.0, (a.node_id,), duration=5.0)
+        state = NetworkFaultState(env, plan)
+        machine.network.faults = state
+
+        outcomes = {}
+
+        def xfer(at, label):
+            yield env.timeout(at - env.now)
+            try:
+                yield machine.network.transfer(a, b, 1024)
+                outcomes[label] = "ok"
+            except TransferError:
+                outcomes[label] = "partitioned"
+
+        env.process(xfer(11.0, "inside"))
+        env.run(until=30.0)
+        env.process(xfer(30.0, "after"))
+        env.run(until=60.0)
+        assert outcomes == {"inside": "partitioned", "after": "ok"}
+        assert state.partitioned == 1
+
+    def test_certain_drop(self, env, machine):
+        a, b = machine.nodes[2], machine.nodes[3]
+        plan = FaultPlan()
+        plan.message_drop(0.0, (b.node_id,), probability=1.0, duration=100.0)
+        machine.network.faults = NetworkFaultState(env, plan)
+
+        def xfer():
+            with pytest.raises(TransferError):
+                yield machine.network.transfer(a, b, 1024)
+
+        env.process(xfer())
+        env.run(until=10.0)
+        assert machine.network.faults.dropped == 1
+
+    def test_degrade_slows_transfer(self, env, machine):
+        a, b = machine.nodes[4], machine.nodes[5]
+        durations = []
+
+        def xfer():
+            start = env.now
+            yield machine.network.transfer(a, b, 10 * 2**20)
+            durations.append(env.now - start)
+
+        env.process(xfer())
+        env.run(until=50.0)
+
+        env2 = Environment()
+        machine2 = Machine(env2, num_nodes=16)
+        a2, b2 = machine2.nodes[4], machine2.nodes[5]
+        plan = FaultPlan()
+        plan.link_degrade(0.0, (a2.node_id,), factor=4.0, duration=100.0)
+        machine2.network.faults = NetworkFaultState(env2, plan)
+
+        def xfer2():
+            start = env2.now
+            yield machine2.network.transfer(a2, b2, 10 * 2**20)
+            durations.append(env2.now - start)
+
+        env2.process(xfer2())
+        env2.run(until=50.0)
+        assert durations[1] == pytest.approx(durations[0] * 4.0, rel=0.01)
+
+
+class TestFailureDetector:
+    def test_silent_member_suspected(self, env):
+        suspects = []
+        det = FailureDetector(env, "t", lease_timeout=4.0,
+                              on_suspect=suspects.append)
+        det.watch("r0")
+        det.watch("r1")
+
+        def beater():
+            while True:
+                yield env.timeout(1.0)
+                det.beat("r0")  # r1 stays silent
+
+        env.process(beater())
+        det.start()
+        env.run(until=20.0)
+        assert suspects == ["r1"]
+        assert "r1" in det.suspected
+        assert "r0" not in det.suspected
+
+    def test_false_positive_accounting(self, env):
+        det = FailureDetector(env, "t", lease_timeout=2.0)
+        det.watch("r0")
+        det.start()
+        env.run(until=5.0)
+        assert "r0" in det.suspected
+        det.beat("r0")
+        assert det.false_positives == 1
+        assert "r0" not in det.suspected
+
+    def test_suspend_regrants_leases(self, env):
+        down = {"flag": False}
+        suspects = []
+        det = FailureDetector(env, "t", lease_timeout=3.0,
+                              on_suspect=suspects.append,
+                              suspend_when=lambda: down["flag"])
+        det.watch("r0")
+        det.start()
+
+        def script():
+            down["flag"] = True
+            yield env.timeout(20.0)  # far beyond the lease
+            down["flag"] = False
+
+        env.process(script())
+        env.run(until=22.0)
+        # The detector's own outage must not convict the member...
+        assert suspects == []
+        env.run(until=40.0)
+        # ...but continued silence after resume does.
+        assert suspects == ["r0"]
+
+    def test_heartbeats_end_to_end(self, env, machine, messenger):
+        mon_node, rep_node = machine.nodes[0], machine.nodes[1]
+        suspects = []
+        det = FailureDetector(env, "lm", lease_timeout=3.0,
+                              on_suspect=suspects.append)
+        HeartbeatMonitor(env, messenger, "lm-hb", mon_node, det)
+        sender = HeartbeatSender(env, messenger, "r0", rep_node, "lm-hb",
+                                 interval=1.0)
+        det.watch("r0")
+        sender.start()
+        det.start()
+        env.run(until=10.0)
+        assert suspects == []
+        assert det.beats > 5
+        rep_node.fail()
+        env.run(until=20.0)
+        assert suspects == ["r0"]
