@@ -188,33 +188,44 @@ class LocalManager:
     # -- control loop ------------------------------------------------------------------
 
     def _control_loop(self):
+        dispatch = {
+            MessageType.INCREASE_REQUEST: self._do_increase,
+            MessageType.DECREASE_REQUEST: self._do_decrease,
+            MessageType.OFFLINE_REQUEST: self._do_offline,
+            MessageType.REPLACE_REQUEST: self._do_replace,
+            MessageType.SET_STRIDE: self._do_set_stride,
+            MessageType.SET_HASHING: self._do_set_hashing,
+        }
         while True:
             try:
-                msg = yield self.endpoint.recv(
-                    where=lambda m: m.mtype
-                    in (
-                        MessageType.INCREASE_REQUEST,
-                        MessageType.DECREASE_REQUEST,
-                        MessageType.OFFLINE_REQUEST,
-                        MessageType.REPLACE_REQUEST,
-                        MessageType.SET_STRIDE,
-                        MessageType.SET_HASHING,
-                    )
-                )
+                msg = yield self.endpoint.recv(where=lambda m: m.mtype in dispatch)
             except Interrupt:
                 return
-            if msg.mtype is MessageType.INCREASE_REQUEST:
-                yield self.env.process(self._do_increase(msg))
-            elif msg.mtype is MessageType.DECREASE_REQUEST:
-                yield self.env.process(self._do_decrease(msg))
-            elif msg.mtype is MessageType.REPLACE_REQUEST:
-                yield self.env.process(self._do_replace(msg))
-            elif msg.mtype is MessageType.SET_STRIDE:
-                yield self.env.process(self._do_set_stride(msg))
-            elif msg.mtype is MessageType.SET_HASHING:
-                yield self.env.process(self._do_set_hashing(msg))
-            else:
-                yield self.env.process(self._do_offline(msg))
+            yield self.env.process(dispatch[msg.mtype](msg))
+
+    # -- shared protocol tail ----------------------------------------------------------
+
+    def _reply(self, msg: Message, mtype: MessageType, payload: dict,
+               record=None, charge_seconds: Optional[float] = None):
+        """Send the correlated completion reply to the global manager.
+
+        The shared tail of every control protocol: build the reply, send it
+        over the control plane, charge the manager-to-manager round, and
+        stamp the record finished.  ``charge_seconds`` overrides the charged
+        duration (offline charges the reply at zero cost because the freed
+        nodes are already surrendered when it is sent).
+        """
+        reply = msg.reply(mtype, sender=self.endpoint.name, payload=payload)
+        t0 = self.env.now
+        yield self.messenger.send(self.node, self.global_name, reply)
+        if record is not None:
+            elapsed = (self.env.now - t0) if charge_seconds is None else charge_seconds
+            record.charge("manager", elapsed, messages=1)
+            record.finished_at = self.env.now
+
+    def _mark(self, text: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.mark(self.env.now, text)
 
     # -- increase -------------------------------------------------------------------------
 
@@ -233,17 +244,11 @@ class LocalManager:
             yield self.env.process(self._spawn_replicas(nodes, record))
 
         record.round("local->global: resize complete")
-        reply = msg.reply(
-            MessageType.RESIZE_COMPLETE,
-            sender=self.endpoint.name,
-            payload={"units": container.units},
-        )
-        t0 = self.env.now
-        yield self.messenger.send(self.node, self.global_name, reply)
-        record.charge("manager", self.env.now - t0, messages=1)
-        record.finished_at = self.env.now
-        if self.telemetry is not None:
-            self.telemetry.mark(self.env.now, f"increase {container.name} +{len(nodes)}")
+        yield self.env.process(self._reply(
+            msg, MessageType.RESIZE_COMPLETE, {"units": container.units},
+            record=record,
+        ))
+        self._mark(f"increase {container.name} +{len(nodes)}")
 
     def _spawn_replicas(self, nodes: List[Node], record):
         """Round-robin / tree growth: spawn and wire new replicas in place."""
@@ -357,17 +362,12 @@ class LocalManager:
                 yield container.input_link.resume_writers()
                 record.round("local->writers: resume")
 
-        reply = msg.reply(
-            MessageType.RESIZE_COMPLETE,
-            sender=self.endpoint.name,
-            payload={"nodes": freed, "units": container.units},
-        )
-        t0 = self.env.now
-        yield self.messenger.send(self.node, self.global_name, reply)
-        record.charge("manager", self.env.now - t0, messages=1)
-        record.finished_at = self.env.now
-        if self.telemetry is not None:
-            self.telemetry.mark(self.env.now, f"decrease {container.name} -{count}")
+        yield self.env.process(self._reply(
+            msg, MessageType.RESIZE_COMPLETE,
+            {"nodes": freed, "units": container.units},
+            record=record,
+        ))
+        self._mark(f"decrease {container.name} -{count}")
 
     # -- replace (crash recovery) ----------------------------------------------------------
 
@@ -428,19 +428,12 @@ class LocalManager:
                 yield container.input_link.resume_writers()
                 record.round("local->writers: resume")
         record.round("local->global: replace complete")
-        reply = msg.reply(
-            MessageType.REPLACE_COMPLETE,
-            sender=self.endpoint.name,
-            payload={"units": container.units, "redelivered": redelivered},
-        )
-        t0 = self.env.now
-        yield self.messenger.send(self.node, self.global_name, reply)
-        record.charge("manager", self.env.now - t0, messages=1)
-        record.finished_at = self.env.now
-        if self.telemetry is not None:
-            self.telemetry.mark(
-                self.env.now, f"replace {container.name}/{payload['replica']}"
-            )
+        yield self.env.process(self._reply(
+            msg, MessageType.REPLACE_COMPLETE,
+            {"units": container.units, "redelivered": redelivered},
+            record=record,
+        ))
+        self._mark(f"replace {container.name}/{payload['replica']}")
 
     # -- data-flow controls ----------------------------------------------------------------
 
@@ -455,24 +448,23 @@ class LocalManager:
         stride = int(msg.payload["stride"])
         container = self.container
         if stride < 1 or (container.essential and stride > 1):
-            reply = msg.reply(MessageType.NACK, sender=self.endpoint.name,
-                              payload={"stride": container.stride})
+            yield self.env.process(self._reply(
+                msg, MessageType.NACK, {"stride": container.stride}
+            ))
         else:
             container.stride = stride
-            reply = msg.reply(MessageType.ACK, sender=self.endpoint.name,
-                              payload={"stride": stride})
-            if self.telemetry is not None:
-                self.telemetry.mark(self.env.now,
-                                    f"stride {container.name} -> 1/{stride}")
-        yield self.messenger.send(self.node, self.global_name, reply)
+            self._mark(f"stride {container.name} -> 1/{stride}")
+            yield self.env.process(self._reply(
+                msg, MessageType.ACK, {"stride": stride}
+            ))
 
     def _do_set_hashing(self, msg: Message):
         """Toggle soft-error-detection hashing on this container's output."""
         enabled = bool(msg.payload["enabled"])
         self.container.hashing = enabled
-        reply = msg.reply(MessageType.ACK, sender=self.endpoint.name,
-                          payload={"enabled": enabled})
-        yield self.messenger.send(self.node, self.global_name, reply)
+        yield self.env.process(self._reply(
+            msg, MessageType.ACK, {"enabled": enabled}
+        ))
 
     # -- offline ----------------------------------------------------------------------------
 
@@ -524,16 +516,12 @@ class LocalManager:
         if container.input_link is not None and container.input_link.readers:
             yield container.input_link.resume_writers()
 
-        reply = msg.reply(
-            MessageType.OFFLINE_COMPLETE,
-            sender=self.endpoint.name,
-            payload={"nodes": freed, "unpulled": len(stranded)},
-        )
-        yield self.messenger.send(self.node, self.global_name, reply)
-        record.charge("manager", 0.0, messages=1)
-        record.finished_at = self.env.now
-        if self.telemetry is not None:
-            self.telemetry.mark(self.env.now, f"offline {container.name}")
+        yield self.env.process(self._reply(
+            msg, MessageType.OFFLINE_COMPLETE,
+            {"nodes": freed, "unpulled": len(stranded)},
+            record=record, charge_seconds=0.0,
+        ))
+        self._mark(f"offline {container.name}")
 
     # -- monitoring ----------------------------------------------------------------------------
 
