@@ -29,6 +29,7 @@ from repro.containers.policy import (
     Steal,
 )
 from repro.containers.protocol import ProtocolTracer
+from repro.controlplane import ControlPlaneEngine, ProtocolAbort, protocols
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
 from repro.monitoring.metrics import Telemetry
@@ -50,6 +51,7 @@ class GlobalManager:
         control_interval: float = 30.0,
         overflow_horizon: float = 120.0,
         transaction_manager=None,
+        engine: Optional[ControlPlaneEngine] = None,
     ):
         self.env = env
         self.messenger = messenger
@@ -58,6 +60,7 @@ class GlobalManager:
         self.sla_interval = sla_interval
         self.policy = policy or LatencyPolicy()
         self.tracer = tracer or ProtocolTracer()
+        self.engine = engine or ControlPlaneEngine(env)
         self.telemetry = telemetry or Telemetry()
         self.control_interval = control_interval
         self.overflow_horizon = overflow_horizon
@@ -191,41 +194,60 @@ class GlobalManager:
 
     def _increase(self, name: str, count: int, nodes: Optional[List[Node]] = None):
         manager = self._manager(name)
-        if nodes is None:
+        result = yield self.engine.execute(
+            protocols.GM_INCREASE, subject=name,
+            data={"gm": self, "manager": manager, "name": name,
+                  "count": count, "nodes": nodes},
+        )
+        return result
+
+    def _gmi_allocate(self, ctx) -> None:
+        if ctx["nodes"] is None:
+            name, count = ctx["name"], ctx["count"]
             if count > self.scheduler.free_nodes:
                 raise SimulationError(
                     f"increase {name!r} by {count}: only {self.scheduler.free_nodes} spare"
                 )
             job = self.scheduler.allocate(count, name=f"incr:{name}")
-            nodes = job.nodes
-        dead = [n for n in nodes if n.failed]
+            ctx["nodes"] = job.nodes
+
+    def _gmi_validate(self, ctx) -> None:
+        # A target node died mid-protocol (e.g. between the donor's
+        # decrease and this increase): abort, quarantine the dead nodes,
+        # and return the survivors to the spare pool rather than handing
+        # a dead node to the recipient.
+        dead = [n for n in ctx["nodes"] if n.failed]
         if dead:
-            # A target node died mid-protocol (e.g. between the donor's
-            # decrease and this increase): abort, quarantine the dead nodes,
-            # and return the survivors to the spare pool rather than handing
-            # a dead node to the recipient.
-            for node in dead:
-                self.scheduler.mark_failed(node)
-            alive = [n for n in nodes if not n.failed]
-            for node in alive:
-                if node not in self.scheduler._free:
-                    self.scheduler._free.append(node)
-            self.actions_taken.append(
-                f"increase {name} aborted ({len(dead)} target nodes dead)"
-            )
-            yield self.env.timeout(0)
-            return {"aborted": True, "units": manager.container.units,
-                    "returned": len(alive)}
+            raise ProtocolAbort(f"{len(dead)} target nodes dead")
+
+    def _gmi_abort(self, ctx):
+        name, nodes = ctx["name"], ctx["nodes"]
+        dead = [n for n in nodes if n.failed]
+        for node in dead:
+            self.scheduler.mark_failed(node)
+        alive = [n for n in nodes if not n.failed]
+        for node in alive:
+            if node not in self.scheduler._free:
+                self.scheduler._free.append(node)
+        self.actions_taken.append(
+            f"increase {name} aborted ({len(dead)} target nodes dead)"
+        )
+        yield self.env.timeout(0)
+        ctx.result = {"aborted": True, "units": ctx["manager"].container.units,
+                      "returned": len(alive)}
+
+    def _gmi_request(self, ctx):
+        name, nodes = ctx["name"], ctx["nodes"]
         request = Message(
             MessageType.INCREASE_REQUEST,
             sender="global-mgr",
             payload={"nodes": nodes},
         )
         reply = yield self.messenger.request(
-            self.node, self.endpoint, manager.endpoint.name, request
+            self.node, self.endpoint, ctx["manager"].endpoint.name, request
         )
         self.actions_taken.append(f"increase {name} +{len(nodes)}")
-        return reply.payload
+        ctx.result = reply.payload
 
     def decrease(self, name: str, count: int):
         """Process: shrink ``name`` by ``count`` nodes; value is the freed nodes."""
@@ -260,25 +282,46 @@ class GlobalManager:
                 self, donor, recipient, count
             )
             return outcome
-        freed = yield self.decrease(donor, count)
-        if any(n.failed for n in freed):
-            # The mid-protocol crash case: the trade aborts and the freed
-            # nodes return to the spare pool rather than being lost.
-            for node in freed:
-                if node.failed:
-                    self.scheduler.mark_failed(node)
-                elif node not in self.scheduler._free:
-                    self.scheduler._free.append(node)
-            alive = sum(1 for n in freed if not n.failed)
-            self.actions_taken.append(
-                f"steal {donor}->{recipient} aborted; "
-                f"{alive} freed nodes returned to spare pool"
-            )
-            return []
-        if freed:
-            yield self.increase(recipient, len(freed), nodes=freed)
-        self.actions_taken.append(f"steal {donor}->{recipient} x{len(freed)}")
-        return freed
+        result = yield self.engine.execute(
+            protocols.GM_STEAL, subject=f"{donor}->{recipient}",
+            data={"gm": self, "donor": donor, "recipient": recipient,
+                  "count": count, "freed": []},
+        )
+        return result
+
+    def _gms_decrease(self, ctx):
+        ctx["freed"] = yield self.decrease(ctx["donor"], ctx["count"])
+
+    def _gms_validate(self, ctx) -> None:
+        # The mid-protocol crash case: the trade aborts and the freed
+        # nodes return to the spare pool rather than being lost.
+        if any(n.failed for n in ctx["freed"]):
+            raise ProtocolAbort("freed nodes died mid-trade", result=[])
+
+    def _gms_abort(self, ctx) -> None:
+        freed = ctx["freed"]
+        for node in freed:
+            if node.failed:
+                self.scheduler.mark_failed(node)
+            elif node not in self.scheduler._free:
+                self.scheduler._free.append(node)
+        alive = sum(1 for n in freed if not n.failed)
+        self.actions_taken.append(
+            f"steal {ctx['donor']}->{ctx['recipient']} aborted; "
+            f"{alive} freed nodes returned to spare pool"
+        )
+        ctx.result = []
+
+    def _gms_increase(self, ctx):
+        freed = ctx["freed"]
+        yield self.increase(ctx["recipient"], len(freed), nodes=freed)
+
+    def _gms_commit(self, ctx) -> None:
+        freed = ctx["freed"]
+        self.actions_taken.append(
+            f"steal {ctx['donor']}->{ctx['recipient']} x{len(freed)}"
+        )
+        ctx.result = freed
 
     def take_offline(self, name: str):
         """Process: offline ``name`` and every downstream dependent.

@@ -18,6 +18,7 @@ from repro.cluster.node import Node
 from repro.cluster.scheduler import BatchScheduler
 from repro.containers.container import Container
 from repro.containers.protocol import ProtocolTracer
+from repro.controlplane import ControlPlaneEngine, ProtocolAbort, protocols
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
 from repro.faults.detect import FailureDetector, HeartbeatMonitor, HeartbeatSender
@@ -44,6 +45,7 @@ class LocalManager:
         telemetry: Optional[Telemetry] = None,
         monitor_interval: float = 15.0,
         sla_interval: Optional[float] = None,
+        engine: Optional[ControlPlaneEngine] = None,
     ):
         self.env = env
         self.messenger = messenger
@@ -52,6 +54,7 @@ class LocalManager:
         self.global_name = global_manager_endpoint
         self.scheduler = scheduler
         self.tracer = tracer or ProtocolTracer()
+        self.engine = engine or ControlPlaneEngine(env)
         self.telemetry = telemetry
         self.monitor_interval = monitor_interval
         #: the SLA this manager sizes against; when set, metric reports
@@ -233,21 +236,10 @@ class LocalManager:
         nodes: List[Node] = msg.payload["nodes"]
         container = self.container
         record = self.tracer.begin("increase", container.name, len(nodes), self.env.now)
-        record.round("global->local: increase request")
-
-        if container.model is ComputeModel.PARALLEL:
-            # MPI semantics: full teardown and relaunch at the larger size
-            # (the aprun artifact).  The relaunch cost is recorded separately
-            # so benches can factor it out exactly as the paper does.
-            yield self.env.process(self._relaunch_parallel(nodes, record))
-        else:
-            yield self.env.process(self._spawn_replicas(nodes, record))
-
-        record.round("local->global: resize complete")
-        yield self.env.process(self._reply(
-            msg, MessageType.RESIZE_COMPLETE, {"units": container.units},
-            record=record,
-        ))
+        yield self.engine.execute(
+            protocols.INCREASE, subject=container.name, record=record,
+            data={"lm": self, "msg": msg, "nodes": nodes},
+        )
         self._mark(f"increase {container.name} +{len(nodes)}")
 
     def _spawn_replicas(self, nodes: List[Node], record):
@@ -326,48 +318,52 @@ class LocalManager:
         count: int = msg.payload["count"]
         container = self.container
         record = self.tracer.begin("decrease", container.name, count, self.env.now)
-        record.round("global->local: decrease request")
+        data = {"lm": self, "msg": msg, "count": count}
+        yield self.engine.execute(
+            protocols.DECREASE, subject=container.name, record=record, data=data,
+        )
+        self._mark(f"decrease {container.name} -{data['count']}")
 
-        freed: List[Node] = []
-        if count > 0 and container.units > 0:
-            count = min(count, container.units)
-            # Pause upstream writers so no metadata races the teardown —
-            # the dominant cost of a decrease (Figure 5).
-            if container.input_link is not None:
-                record.round("local->writers: pause")
-                t0 = self.env.now
-                yield container.input_link.pause_writers()
-                record.charge(
-                    "writer_pause",
-                    self.env.now - t0,
-                    messages=2 * len(container.input_link.writers),
-                )
-                record.round("writers->local: paused")
+    def _dec_prepare(self, ctx) -> None:
+        container = self.container
+        ctx["active"] = ctx["count"] > 0 and container.units > 0
+        ctx["freed"] = []
+        if ctx["active"]:
+            ctx["count"] = min(ctx["count"], container.units)
+
+    def _pause_writers(self, ctx, count_messages: bool = True):
+        """Pause upstream writers so no metadata races a teardown — the
+        dominant cost of a decrease (Figure 5)."""
+        link = self.container.input_link
+        t0 = self.env.now
+        yield link.pause_writers()
+        ctx.charge(
+            "writer_pause", self.env.now - t0,
+            messages=2 * len(link.writers) if count_messages else 0,
+        )
+
+    def _resume_writers(self, ctx):
+        yield self.container.input_link.resume_writers()
+
+    def _dec_retire(self, ctx) -> None:
+        t0 = self.env.now
+        ctx["freed"] = self.container.remove_replicas(ctx["count"])
+        ctx.charge("intra_container", self.env.now - t0, messages=ctx["count"])
+
+    def _dec_merge_state(self, ctx):
+        """Stateful components: each departing replica's state merges into
+        a survivor before the node is surrendered."""
+        container = self.container
+        state = container.spec.state_bytes(container.natoms_hint)
+        survivors = [r for r in container.replicas if not r.passive]
+        if state > 0 and survivors:
             t0 = self.env.now
-            freed = container.remove_replicas(count)
-            record.charge("intra_container", self.env.now - t0, messages=count)
-            record.round(f"local: retired {count} replicas")
-            # Stateful components: each departing replica's state merges
-            # into a survivor before the node is surrendered.
-            state = container.spec.state_bytes(container.natoms_hint)
-            survivors = [r for r in container.replicas if not r.passive]
-            if state > 0 and survivors:
-                t0 = self.env.now
-                for i, node in enumerate(freed):
-                    target = survivors[i % len(survivors)]
-                    yield self.messenger.network.transfer(node, target.node, state)
-                record.charge("state_migration", self.env.now - t0, messages=len(freed))
-                record.round(f"state merged into {len(survivors)} survivors")
-            if container.input_link is not None:
-                yield container.input_link.resume_writers()
-                record.round("local->writers: resume")
-
-        yield self.env.process(self._reply(
-            msg, MessageType.RESIZE_COMPLETE,
-            {"nodes": freed, "units": container.units},
-            record=record,
-        ))
-        self._mark(f"decrease {container.name} -{count}")
+            for i, node in enumerate(ctx["freed"]):
+                target = survivors[i % len(survivors)]
+                yield self.messenger.network.transfer(node, target.node, state)
+            ctx.charge("state_migration", self.env.now - t0,
+                       messages=len(ctx["freed"]))
+            ctx.round(f"state merged into {len(survivors)} survivors")
 
     # -- replace (crash recovery) ----------------------------------------------------------
 
@@ -382,58 +378,51 @@ class LocalManager:
         metadata and redelivered chunks have somewhere to go.
         """
         container = self.container
-        payload = msg.payload
-        node: Node = payload["node"]
         record = self.tracer.begin("replace", container.name, 1, self.env.now)
-        record.round("global->local: replace request")
-        dead = next(
-            (r for r in container.replicas if r.name == payload["replica"]), None
+        yield self.engine.execute(
+            protocols.REPLACE, subject=container.name, record=record,
+            data={"lm": self, "msg": msg, "node": msg.payload["node"]},
         )
-        redelivered = 0
+        self._mark(f"replace {container.name}/{msg.payload['replica']}")
+
+    def _rep_locate(self, ctx) -> None:
+        dead = next(
+            (r for r in self.container.replicas
+             if r.name == ctx["msg"].payload["replica"]),
+            None,
+        )
+        ctx["dead"] = dead
+        ctx["redelivered"] = 0
         if dead is not None:
             if not dead.crashed:
                 dead.crash()
             self.unwatch_replica(dead.name)
-            if container.input_link is not None:
-                record.round("local->writers: pause")
-                t0 = self.env.now
-                yield container.input_link.pause_writers()
-                record.charge(
-                    "writer_pause",
-                    self.env.now - t0,
-                    messages=2 * len(container.input_link.writers),
-                )
-                record.round("writers->local: paused")
-            container.replicas.remove(dead)
-            for writer in dead.writers.values():
-                # Outputs a downstream reader already pulled have a live
-                # copy there: complete their upstream handoff.  The rest
-                # died in this buffer; their inputs stay unacked upstream
-                # and will be re-produced through redelivery.
-                writer.release_handed_off()
-                if writer.link is not None:
-                    writer.link.remove_writer(writer)
-            yield self.env.process(self._spawn_replicas([node], record))
-            if container.input_link is not None and dead.reader is not None:
-                # Survivors (incl. the newcomer) exist now; hand the dead
-                # reader's backlog back to the link and re-push every chunk
-                # it had pulled but never acked processed.  Link-level dedup
-                # keeps the redelivery idempotent.
-                container.input_link.remove_reader(dead.reader)
-                for writer in container.input_link.writers:
-                    if writer.retain_until_processed:
-                        redelivered += writer.redeliver_unacked(dead.reader.name)
-                record.round(f"redelivered {redelivered} unacked chunks")
-            if container.input_link is not None:
-                yield container.input_link.resume_writers()
-                record.round("local->writers: resume")
-        record.round("local->global: replace complete")
-        yield self.env.process(self._reply(
-            msg, MessageType.REPLACE_COMPLETE,
-            {"units": container.units, "redelivered": redelivered},
-            record=record,
-        ))
-        self._mark(f"replace {container.name}/{payload['replica']}")
+
+    def _rep_detach(self, ctx) -> None:
+        dead = ctx["dead"]
+        self.container.replicas.remove(dead)
+        for writer in dead.writers.values():
+            # Outputs a downstream reader already pulled have a live
+            # copy there: complete their upstream handoff.  The rest
+            # died in this buffer; their inputs stay unacked upstream
+            # and will be re-produced through redelivery.
+            writer.release_handed_off()
+            if writer.link is not None:
+                writer.link.remove_writer(writer)
+
+    def _rep_redeliver(self, ctx) -> None:
+        # Survivors (incl. the newcomer) exist now; hand the dead
+        # reader's backlog back to the link and re-push every chunk
+        # it had pulled but never acked processed.  Link-level dedup
+        # keeps the redelivery idempotent.
+        dead = ctx["dead"]
+        link = self.container.input_link
+        link.remove_reader(dead.reader)
+        redelivered = 0
+        for writer in link.writers:
+            if writer.retain_until_processed:
+                redelivered += writer.redeliver_unacked(dead.reader.name)
+        ctx["redelivered"] = redelivered
 
     # -- data-flow controls ----------------------------------------------------------------
 
@@ -445,26 +434,43 @@ class LocalManager:
         essential containers — dropping timesteps of the aggregation stage
         would lose data for everyone downstream.
         """
-        stride = int(msg.payload["stride"])
+        yield self.engine.execute(
+            protocols.SET_STRIDE, subject=self.container.name,
+            data={"lm": self, "msg": msg, "stride": int(msg.payload["stride"])},
+        )
+
+    def _stride_validate(self, ctx):
         container = self.container
+        stride = ctx["stride"]
         if stride < 1 or (container.essential and stride > 1):
             yield self.env.process(self._reply(
-                msg, MessageType.NACK, {"stride": container.stride}
+                ctx["msg"], MessageType.NACK, {"stride": container.stride}
             ))
-        else:
-            container.stride = stride
-            self._mark(f"stride {container.name} -> 1/{stride}")
-            yield self.env.process(self._reply(
-                msg, MessageType.ACK, {"stride": stride}
-            ))
+            raise ProtocolAbort(f"stride 1/{stride} refused", result=False)
+
+    def _stride_apply(self, ctx):
+        stride = ctx["stride"]
+        self.container.stride = stride
+        self._mark(f"stride {self.container.name} -> 1/{stride}")
+        yield self.env.process(self._reply(
+            ctx["msg"], MessageType.ACK, {"stride": stride}
+        ))
+        ctx.result = True
 
     def _do_set_hashing(self, msg: Message):
         """Toggle soft-error-detection hashing on this container's output."""
-        enabled = bool(msg.payload["enabled"])
-        self.container.hashing = enabled
+        yield self.engine.execute(
+            protocols.SET_HASHING, subject=self.container.name,
+            data={"lm": self, "msg": msg,
+                  "enabled": bool(msg.payload["enabled"])},
+        )
+
+    def _hashing_apply(self, ctx):
+        self.container.hashing = ctx["enabled"]
         yield self.env.process(self._reply(
-            msg, MessageType.ACK, {"enabled": enabled}
+            ctx["msg"], MessageType.ACK, {"enabled": ctx["enabled"]}
         ))
+        ctx.result = True
 
     # -- offline ----------------------------------------------------------------------------
 
@@ -477,13 +483,14 @@ class LocalManager:
         """
         container = self.container
         record = self.tracer.begin("offline", container.name, container.units, self.env.now)
-        record.round("global->local: offline request")
+        yield self.engine.execute(
+            protocols.OFFLINE, subject=container.name, record=record,
+            data={"lm": self, "msg": msg},
+        )
+        self._mark(f"offline {container.name}")
 
-        if container.input_link is not None:
-            t0 = self.env.now
-            yield container.input_link.pause_writers()
-            record.charge("writer_pause", self.env.now - t0)
-
+    def _off_drain(self, ctx):
+        container = self.container
         stranded = []
         freed: List[Node] = []
         for replica in container.replicas:
@@ -508,20 +515,8 @@ class LocalManager:
             freed.append(replica.node)
         container.replicas = []
         container.offline = True
-        record.round("local: all replicas offline")
-        # If other consumers still read this link (a dynamic branch swapped
-        # the reader set), let the upstream writers flow again; with no
-        # readers left, the upstream stage bypasses the link entirely
-        # (Container.emit writes to disk) so the writers stay quiesced.
-        if container.input_link is not None and container.input_link.readers:
-            yield container.input_link.resume_writers()
-
-        yield self.env.process(self._reply(
-            msg, MessageType.OFFLINE_COMPLETE,
-            {"nodes": freed, "unpulled": len(stranded)},
-            record=record, charge_seconds=0.0,
-        ))
-        self._mark(f"offline {container.name}")
+        ctx["stranded"] = stranded
+        ctx["freed"] = freed
 
     # -- monitoring ----------------------------------------------------------------------------
 

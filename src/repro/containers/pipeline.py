@@ -26,6 +26,7 @@ from repro.containers.global_manager import GlobalManager
 from repro.containers.local_manager import LocalManager
 from repro.containers.policy import LatencyPolicy, ManagementPolicy
 from repro.containers.protocol import ProtocolTracer
+from repro.controlplane import ControlPlaneEngine, ControlPlaneTrace
 from repro.datatap.link import DataTapLink
 from repro.datatap.scheduling import PullScheduler
 from repro.datatap.writer import DataTapWriter
@@ -89,6 +90,11 @@ class Pipeline:
         self.fs: Optional[ParallelFileSystem] = None
         self.telemetry = Telemetry()
         self.tracer = ProtocolTracer()
+        #: one control-plane engine shared by every manager in the pipeline,
+        #: with its own trace store (isolated from the module default so
+        #: concurrent pipelines don't interleave traces)
+        self.control_trace = ControlPlaneTrace()
+        self.control_plane = ControlPlaneEngine(env, trace=self.control_trace)
         self.driver: Optional[LammpsDriver] = None
         self.containers: Dict[str, Container] = {}
         self.managers: Dict[str, LocalManager] = {}
@@ -242,6 +248,7 @@ class Pipeline:
             telemetry=self.telemetry,
             monitor_interval=monitor_interval,
             sla_interval=self.global_manager.sla_interval,
+            engine=self.control_plane,
         )
         self.managers[name] = manager
         self.global_manager.register(manager, depends_on=upstream)
@@ -403,6 +410,7 @@ class PipelineBuilder:
             control_interval=self.control_interval,
             overflow_horizon=self.overflow_horizon,
             transaction_manager=self.transaction_manager,
+            engine=pipe.control_plane,
         )
         pipe.global_manager = gm
 
@@ -543,6 +551,7 @@ class PipelineBuilder:
                 telemetry=pipe.telemetry,
                 monitor_interval=self.monitor_interval,
                 sla_interval=self.sla_interval,
+                engine=pipe.control_plane,
             )
             pipe.managers[name] = manager
             gm.register(manager, depends_on=stage.upstream)

@@ -35,6 +35,7 @@ from typing import List, Optional, TYPE_CHECKING
 
 from repro.simkernel import Environment, Interrupt
 from repro.simkernel.errors import FaultError
+from repro.controlplane import ProtocolAbort, ProtocolExit, protocols
 from repro.evpath.channel import Messenger, RequestTimeout
 from repro.evpath.messages import Message, MessageType
 from repro.faults.detect import FailureDetector
@@ -135,65 +136,105 @@ class RecoveryManager:
         request = gm.control_lock.request()
         yield request
         try:
-            if dead not in container.replicas:
-                return
-            node = None
-            method = None
-            if gm.scheduler.free_nodes > 0:
-                job = gm.scheduler.allocate(1, name=f"replace:{name}")
-                node = job.nodes[0]
-                method = "spare"
-            else:
-                donor = self._pick_donor(name)
-                if donor is not None:
-                    self.rounds += 1
-                    freed = yield gm.decrease(donor, 1)
-                    freed = [n for n in freed if not n.failed]
-                    if freed:
-                        node = freed[0]
-                        method = f"steal:{donor}"
-            if node is None:
-                yield from self._degrade(name, "no replacement node")
-                return
-            self.rounds += 1
-            replace = Message(
-                MessageType.REPLACE_REQUEST,
-                sender="global-mgr",
-                payload={"replica": payload["replica"], "node": node},
-            )
-            try:
-                reply = yield self.messenger.request(
-                    gm.node, gm.endpoint, manager.endpoint.name, replace,
-                    timeout=self.request_timeout,
-                )
-            except (RequestTimeout, FaultError):
-                # The local manager is unreachable (its node probably died
-                # too).  Give the node back and degrade; a manager rehost
-                # may later revive the container.
-                gm.scheduler._free.append(node)
-                yield from self._degrade(name, "manager unreachable")
-                return
-            mttr = self.env.now - suspected_at
-            REGISTRY.record_duration("faults.mttr_detected", mttr)
-            REGISTRY.count("faults.replacements")
-            self.replacements.append(
-                {
-                    "type": "replace",
-                    "container": name,
-                    "replica": payload["replica"],
-                    "node_id": node.node_id,
-                    "method": method,
+            yield gm.engine.execute(
+                protocols.GM_REPLACE,
+                subject=name,
+                data={
+                    "rm": self,
+                    "gm": gm,
+                    "name": name,
+                    "manager": manager,
+                    "dead": dead,
+                    "payload": payload,
                     "suspected_at": suspected_at,
-                    "completed_at": self.env.now,
-                    "redelivered": reply.payload.get("redelivered", 0),
-                }
+                },
             )
-            gm.actions_taken.append(
-                f"replace {name}/{payload['replica']} via {method}"
-            )
-            gm.telemetry.mark(self.env.now, f"replace {name} via {method}")
         finally:
             gm.control_lock.release(request)
+
+    # GM_REPLACE round bodies ----------------------------------------------------------
+
+    def _rr_recheck(self, ctx) -> None:
+        """A concurrent repair may have removed the suspect already."""
+        manager = ctx["manager"]
+        if ctx["dead"] not in manager.container.replicas:
+            raise ProtocolExit()
+
+    def _rr_acquire(self, ctx):
+        """Find a replacement node: spare pool first, then steal."""
+        gm = self.gm
+        name = ctx["name"]
+        node = None
+        method = None
+        if gm.scheduler.free_nodes > 0:
+            job = gm.scheduler.allocate(1, name=f"replace:{name}")
+            node = job.nodes[0]
+            method = "spare"
+        else:
+            donor = self._pick_donor(name)
+            if donor is not None:
+                self.rounds += 1
+                freed = yield gm.decrease(donor, 1)
+                freed = [n for n in freed if not n.failed]
+                if freed:
+                    node = freed[0]
+                    method = f"steal:{donor}"
+        if node is None:
+            raise ProtocolAbort("no replacement node")
+        ctx["node"] = node
+        ctx["method"] = method
+
+    def _rr_return_node(self, ctx) -> None:
+        """Compensation: an acquired-but-unused node rejoins the pool."""
+        self.gm.scheduler._free.append(ctx["node"])
+
+    def _rr_request(self, ctx):
+        """Run the REPLACE round against the local manager."""
+        gm = self.gm
+        self.rounds += 1
+        replace = Message(
+            MessageType.REPLACE_REQUEST,
+            sender="global-mgr",
+            payload={"replica": ctx["payload"]["replica"], "node": ctx["node"]},
+        )
+        try:
+            reply = yield self.messenger.request(
+                gm.node, gm.endpoint, ctx["manager"].endpoint.name, replace,
+                timeout=self.request_timeout,
+            )
+        except (RequestTimeout, FaultError):
+            # The local manager is unreachable (its node probably died
+            # too).  The acquire round's compensation gives the node back;
+            # a manager rehost may later revive the container.
+            raise ProtocolAbort("manager unreachable")
+        ctx["reply"] = reply
+
+    def _rr_commit(self, ctx) -> None:
+        gm = self.gm
+        name = ctx["name"]
+        method = ctx["method"]
+        replica = ctx["payload"]["replica"]
+        mttr = self.env.now - ctx["suspected_at"]
+        REGISTRY.record_duration("faults.mttr_detected", mttr)
+        REGISTRY.count("faults.replacements")
+        self.replacements.append(
+            {
+                "type": "replace",
+                "container": name,
+                "replica": replica,
+                "node_id": ctx["node"].node_id,
+                "method": method,
+                "suspected_at": ctx["suspected_at"],
+                "completed_at": self.env.now,
+                "redelivered": ctx["reply"].payload.get("redelivered", 0),
+            }
+        )
+        gm.actions_taken.append(f"replace {name}/{replica} via {method}")
+        gm.telemetry.mark(self.env.now, f"replace {name} via {method}")
+
+    def _rr_degrade(self, ctx):
+        """Abort hook: no repair possible — Figure 9 disk fallback."""
+        yield from self._degrade(ctx["name"], ctx.abort.reason)
 
     def _pick_donor(self, exclude: str) -> Optional[str]:
         """Donor with the most headroom, per the existing steal policy."""

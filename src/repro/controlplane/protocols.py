@@ -1,0 +1,273 @@
+"""Declarative round specs for every control protocol in the framework.
+
+This module is the single catalogue of the framework's control protocols:
+the six container protocols of Section III-D (Figure 3) as executed by the
+local manager, the global manager's orchestration protocols with their
+mid-protocol abort paths, the REPLACE recovery ladder, and the D2T
+transaction protocols (Figure 6).  Each is a :class:`ProtocolSpec` — a
+named sequence of rounds with guards, trace labels, timeouts, and
+compensation — executed by the shared
+:class:`~repro.controlplane.engine.ControlPlaneEngine`.
+
+Round handlers dispatch into the owning object, carried in the context
+state (``ctx["lm"]``, ``ctx["gm"]``, ``ctx["rm"]``, ``ctx["tm"]``,
+``ctx["coord"]``), so the specs stay declarations: the *shape* of a
+protocol (its rounds, their order, what aborts and what compensates) lives
+here; the domain work lives with the domain object.  Adding a protocol is
+a new spec plus its round bodies — the engine supplies sequencing,
+timeout enforcement, abort unwinding, and structured tracing.
+"""
+
+from __future__ import annotations
+
+from repro.controlplane.engine import ProtocolSpec, Round
+from repro.evpath.messages import MessageType
+from repro.smartpointer.costs import ComputeModel
+
+
+# ---------------------------------------------------------------------------
+# Container protocols (local-manager side, Figure 3-5)
+# ---------------------------------------------------------------------------
+
+def _parallel(ctx) -> bool:
+    return ctx["lm"].container.model is ComputeModel.PARALLEL
+
+
+def _has_link(ctx) -> bool:
+    return ctx["lm"].container.input_link is not None
+
+
+#: INCREASE (Figure 3): spawn replicas on the granted nodes and wire them
+#: into the container; PARALLEL components relaunch via aprun instead.
+INCREASE = ProtocolSpec(
+    "increase",
+    rounds=(
+        Round("request", enter_label="global->local: increase request"),
+        Round("relaunch", when=_parallel,
+              handler=lambda ctx: ctx["lm"]._relaunch_parallel(ctx["nodes"], ctx)),
+        Round("spawn", when=lambda ctx: not _parallel(ctx),
+              handler=lambda ctx: ctx["lm"]._spawn_replicas(ctx["nodes"], ctx)),
+        Round("complete", enter_label="local->global: resize complete",
+              handler=lambda ctx: ctx["lm"]._reply(
+                  ctx["msg"], MessageType.RESIZE_COMPLETE,
+                  {"units": ctx["lm"].container.units}, record=ctx.record)),
+    ),
+)
+
+
+def _dec_active(ctx) -> bool:
+    return ctx["active"]
+
+
+#: DECREASE: pause upstream writers (the dominant cost, Figure 5), retire
+#: replicas, merge state into survivors, resume, and surrender the nodes.
+DECREASE = ProtocolSpec(
+    "decrease",
+    rounds=(
+        Round("request", enter_label="global->local: decrease request",
+              handler=lambda ctx: ctx["lm"]._dec_prepare(ctx)),
+        Round("pause", when=lambda ctx: _dec_active(ctx) and _has_link(ctx),
+              enter_label="local->writers: pause",
+              exit_label="writers->local: paused",
+              handler=lambda ctx: ctx["lm"]._pause_writers(ctx)),
+        Round("retire", when=_dec_active,
+              exit_label=lambda ctx: f"local: retired {ctx['count']} replicas",
+              handler=lambda ctx: ctx["lm"]._dec_retire(ctx)),
+        Round("merge_state", when=_dec_active,
+              handler=lambda ctx: ctx["lm"]._dec_merge_state(ctx)),
+        Round("resume", when=lambda ctx: _dec_active(ctx) and _has_link(ctx),
+              exit_label="local->writers: resume",
+              handler=lambda ctx: ctx["lm"]._resume_writers(ctx)),
+        Round("complete",
+              handler=lambda ctx: ctx["lm"]._reply(
+                  ctx["msg"], MessageType.RESIZE_COMPLETE,
+                  {"nodes": ctx["freed"], "units": ctx["lm"].container.units},
+                  record=ctx.record)),
+    ),
+)
+
+
+#: OFFLINE (Figure 9 path): drain every replica, strand unprocessed chunks
+#: to disk with provenance, and surrender all nodes.
+OFFLINE = ProtocolSpec(
+    "offline",
+    rounds=(
+        Round("request", enter_label="global->local: offline request"),
+        Round("pause", when=_has_link,
+              handler=lambda ctx: ctx["lm"]._pause_writers(
+                  ctx, count_messages=False)),
+        Round("drain", exit_label="local: all replicas offline",
+              handler=lambda ctx: ctx["lm"]._off_drain(ctx)),
+        # Writers resume only when surviving consumers still read the link
+        # (a dynamic branch swapped the reader set); otherwise they stay
+        # quiesced and the upstream stage falls back to disk.
+        Round("resume",
+              when=lambda ctx: (_has_link(ctx)
+                                and ctx["lm"].container.input_link.readers),
+              handler=lambda ctx: ctx["lm"]._resume_writers(ctx)),
+        Round("complete",
+              handler=lambda ctx: ctx["lm"]._reply(
+                  ctx["msg"], MessageType.OFFLINE_COMPLETE,
+                  {"nodes": ctx["freed"], "unpulled": len(ctx["stranded"])},
+                  record=ctx.record, charge_seconds=0.0)),
+    ),
+)
+
+
+def _rep_found(ctx) -> bool:
+    return ctx["dead"] is not None
+
+
+#: REPLACE (crash recovery): swap a dead replica for a fresh one, re-run
+#: state migration, and redeliver unacked chunks from upstream custody.
+REPLACE = ProtocolSpec(
+    "replace",
+    rounds=(
+        Round("request", enter_label="global->local: replace request",
+              handler=lambda ctx: ctx["lm"]._rep_locate(ctx)),
+        Round("pause", when=lambda ctx: _rep_found(ctx) and _has_link(ctx),
+              enter_label="local->writers: pause",
+              exit_label="writers->local: paused",
+              handler=lambda ctx: ctx["lm"]._pause_writers(ctx)),
+        Round("detach", when=_rep_found,
+              handler=lambda ctx: ctx["lm"]._rep_detach(ctx)),
+        Round("spawn", when=_rep_found,
+              handler=lambda ctx: ctx["lm"]._spawn_replicas([ctx["node"]], ctx)),
+        Round("redeliver",
+              when=lambda ctx: (_rep_found(ctx) and _has_link(ctx)
+                                and ctx["dead"].reader is not None),
+              exit_label=lambda ctx:
+                  f"redelivered {ctx['redelivered']} unacked chunks",
+              handler=lambda ctx: ctx["lm"]._rep_redeliver(ctx)),
+        Round("resume", when=lambda ctx: _rep_found(ctx) and _has_link(ctx),
+              exit_label="local->writers: resume",
+              handler=lambda ctx: ctx["lm"]._resume_writers(ctx)),
+        Round("complete", enter_label="local->global: replace complete",
+              handler=lambda ctx: ctx["lm"]._reply(
+                  ctx["msg"], MessageType.REPLACE_COMPLETE,
+                  {"units": ctx["lm"].container.units,
+                   "redelivered": ctx["redelivered"]},
+                  record=ctx.record)),
+    ),
+)
+
+
+#: SET_STRIDE (Section III-D frequency reduction): refuse invalid strides
+#: and strides on essential containers (NACK aborts the protocol).
+SET_STRIDE = ProtocolSpec(
+    "set_stride",
+    rounds=(
+        Round("validate", handler=lambda ctx: ctx["lm"]._stride_validate(ctx)),
+        Round("apply", handler=lambda ctx: ctx["lm"]._stride_apply(ctx)),
+    ),
+)
+
+
+#: SET_HASHING: toggle soft-error-detection hashing on the output stream.
+SET_HASHING = ProtocolSpec(
+    "set_hashing",
+    rounds=(
+        Round("apply", handler=lambda ctx: ctx["lm"]._hashing_apply(ctx)),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Global-manager orchestration (abort paths from the recovery work)
+# ---------------------------------------------------------------------------
+
+#: GM INCREASE: allocate (or accept) nodes, abort if any died in transit
+#: (quarantining the dead and returning survivors to the spare pool), then
+#: drive the local manager's INCREASE.
+GM_INCREASE = ProtocolSpec(
+    "gm_increase",
+    rounds=(
+        Round("allocate", handler=lambda ctx: ctx["gm"]._gmi_allocate(ctx)),
+        Round("validate", handler=lambda ctx: ctx["gm"]._gmi_validate(ctx)),
+        Round("request", handler=lambda ctx: ctx["gm"]._gmi_request(ctx)),
+    ),
+    on_abort=lambda ctx: ctx["gm"]._gmi_abort(ctx),
+)
+
+
+#: GM STEAL (non-transactional): decrease the donor, abort if the freed
+#: nodes died mid-trade (returning survivors to the pool), else increase
+#: the recipient.
+GM_STEAL = ProtocolSpec(
+    "gm_steal",
+    rounds=(
+        Round("decrease", handler=lambda ctx: ctx["gm"]._gms_decrease(ctx)),
+        Round("validate", handler=lambda ctx: ctx["gm"]._gms_validate(ctx)),
+        Round("increase", when=lambda ctx: bool(ctx["freed"]),
+              handler=lambda ctx: ctx["gm"]._gms_increase(ctx)),
+        Round("commit", handler=lambda ctx: ctx["gm"]._gms_commit(ctx)),
+    ),
+    on_abort=lambda ctx: ctx["gm"]._gms_abort(ctx),
+)
+
+
+#: REPLACE recovery ladder: recheck the suspicion, acquire a replacement
+#: node (spare pool, then stealing from the donor with the most headroom),
+#: run REPLACE against the local manager, and record the repair.  Aborts
+#: degrade the container to offline (the Figure 9 disk fallback); the
+#: acquire round's compensation gives an unused node back to the pool.
+GM_REPLACE = ProtocolSpec(
+    "gm_replace",
+    rounds=(
+        Round("recheck", handler=lambda ctx: ctx["rm"]._rr_recheck(ctx)),
+        Round("acquire", handler=lambda ctx: ctx["rm"]._rr_acquire(ctx),
+              compensate=lambda ctx: ctx["rm"]._rr_return_node(ctx)),
+        Round("replace", handler=lambda ctx: ctx["rm"]._rr_request(ctx)),
+        Round("commit", handler=lambda ctx: ctx["rm"]._rr_commit(ctx)),
+    ),
+    on_abort=lambda ctx: ctx["rm"]._rr_degrade(ctx),
+)
+
+
+# ---------------------------------------------------------------------------
+# Transactions (D2T, Figure 6)
+# ---------------------------------------------------------------------------
+
+#: The container-trade transaction: prepare, decrease the donor, increase
+#: the recipient.  A failure after the decrease triggers the decrease
+#: round's compensation — the freed nodes return to the spare pool, never
+#: lost (Section III-A item 5).
+TRADE = ProtocolSpec(
+    "trade",
+    rounds=(
+        Round("prepare", handler=lambda ctx: ctx["tm"]._tr_prepare(ctx)),
+        Round("fault_decrease",
+              handler=lambda ctx: ctx["tm"]._tr_fault(ctx, "decrease")),
+        Round("decrease", handler=lambda ctx: ctx["tm"]._tr_decrease(ctx),
+              compensate=lambda ctx: ctx["tm"]._tr_compensate(ctx)),
+        Round("fault_increase",
+              handler=lambda ctx: ctx["tm"]._tr_fault(ctx, "increase")),
+        Round("increase", when=lambda ctx: bool(ctx["freed"]),
+              handler=lambda ctx: ctx["tm"]._tr_increase(ctx)),
+        Round("commit", handler=lambda ctx: ctx["tm"]._tr_commit(ctx)),
+    ),
+)
+
+
+#: D2T two-phase commit over group roots (presumed abort).  Vote and ack
+#: collection are timed rounds with ``on_timeout="continue"``: the engine
+#: interrupts the collector at the deadline and the decision phase treats
+#: the still-pending groups as having voted abort.
+D2T_COMMIT = ProtocolSpec(
+    "d2t_commit",
+    rounds=(
+        Round("vote_request",
+              handler=lambda ctx: ctx["coord"]._cp_vote_request(ctx)),
+        Round("collect_votes",
+              handler=lambda ctx: ctx["coord"]._cp_collect_votes(ctx),
+              timeout=lambda ctx: ctx["coord"].vote_timeout,
+              on_timeout="continue"),
+        Round("decide", handler=lambda ctx: ctx["coord"]._cp_decide(ctx)),
+        Round("collect_acks",
+              when=lambda ctx: bool(ctx["reachable"]),
+              handler=lambda ctx: ctx["coord"]._cp_collect_acks(ctx),
+              timeout=lambda ctx: ctx["coord"].ack_timeout,
+              on_timeout="continue"),
+        Round("finalize", handler=lambda ctx: ctx["coord"]._cp_finalize(ctx)),
+    ),
+)

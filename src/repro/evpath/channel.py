@@ -10,7 +10,7 @@ from repro.simkernel.errors import FaultError, SimulationError
 from repro.cluster.network import Network
 from repro.cluster.node import Node
 from repro.evpath.endpoint import Endpoint
-from repro.evpath.messages import Message
+from repro.evpath.messages import Message, validate_message
 from repro.perf.registry import REGISTRY
 
 
@@ -89,8 +89,11 @@ class Messenger:
         """Send ``message`` to the endpoint named ``to``.
 
         Returns a process event that fires after the message is delivered
-        into the destination mailbox.
+        into the destination mailbox.  The payload is validated against the
+        message type's declared schema *before* the send process is created,
+        so malformed control messages raise at the call site.
         """
+        validate_message(message)
         dest = self.lookup(to)
         return self.env.process(
             self._send(src_node, dest, message), name=f"send {message.mtype.value}"

@@ -1,17 +1,28 @@
-"""Typed control and monitoring messages.
+"""Typed control and monitoring messages, and their payload schemas.
 
 The container control protocol (Section III-D, Figure 3) consists of rounds
 of small typed messages.  Every message records its type, sender, a payload,
 and a monotonically increasing sequence number per sender so tests can assert
 ordering and the benches can count protocol rounds.
+
+Control messages also carry *declared* payloads: :data:`SCHEMAS` maps each
+protocol message type to a :class:`MessageSchema` naming its required and
+optional fields.  The messenger validates payloads at send time, so a
+malformed control message fails loudly at the sender (with the offending
+field named) instead of as a ``KeyError`` deep inside the receiving
+protocol handler.  Ack/query/report types whose payloads are intentionally
+open-ended are registered ``freeform``.
 """
 
 from __future__ import annotations
 
 import itertools
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Optional
+from typing import Any, Dict, Optional, Tuple
+
+from repro.simkernel.errors import SimulationError
 
 
 class MessageType(Enum):
@@ -93,3 +104,105 @@ class Message:
 
     def __repr__(self) -> str:
         return f"<Msg {self.mtype.value} from={self.sender} seq={self.seq}>"
+
+
+# ---------------------------------------------------------------------------
+# Payload schemas
+# ---------------------------------------------------------------------------
+
+class MessageSchemaError(SimulationError):
+    """A message's payload does not match its declared schema."""
+
+
+@dataclass(frozen=True)
+class MessageSchema:
+    """Declared payload shape for one message type.
+
+    ``freeform`` schemas accept any payload (acks, queries, metric reports
+    whose fields vary by sender).  Otherwise the payload must be a mapping
+    with every ``required`` field; fields outside ``required``/``optional``
+    are rejected unless ``allow_extra`` is set.
+    """
+
+    mtype: MessageType
+    required: Tuple[str, ...] = ()
+    optional: Tuple[str, ...] = ()
+    allow_extra: bool = False
+    freeform: bool = False
+
+    def validate(self, message: "Message") -> None:
+        if self.freeform:
+            return
+        payload = message.payload
+        if not isinstance(payload, Mapping):
+            raise MessageSchemaError(
+                f"{self.mtype.value} payload must be a mapping with fields "
+                f"{sorted(self.required)}, got {type(payload).__name__}"
+            )
+        missing = [f for f in self.required if f not in payload]
+        if missing:
+            raise MessageSchemaError(
+                f"{self.mtype.value} payload missing required fields "
+                f"{missing} (got {sorted(payload)})"
+            )
+        if not self.allow_extra:
+            known = set(self.required) | set(self.optional)
+            extra = [f for f in payload if f not in known]
+            if extra:
+                raise MessageSchemaError(
+                    f"{self.mtype.value} payload has undeclared fields "
+                    f"{extra} (declared: {sorted(known)})"
+                )
+
+
+def _schema(mtype: MessageType, *required: str, optional: Tuple[str, ...] = (),
+            allow_extra: bool = False, freeform: bool = False) -> MessageSchema:
+    return MessageSchema(mtype, tuple(required), tuple(optional),
+                         allow_extra, freeform)
+
+
+#: The message-schema registry: every control-protocol payload, declared.
+SCHEMAS: Dict[MessageType, MessageSchema] = {s.mtype: s for s in (
+    # Global manager -> local manager (Figure 3 protocol requests)
+    _schema(MessageType.INCREASE_REQUEST, "nodes"),
+    _schema(MessageType.DECREASE_REQUEST, "count"),
+    _schema(MessageType.OFFLINE_REQUEST),
+    _schema(MessageType.SET_STRIDE, "stride"),
+    _schema(MessageType.SET_HASHING, "enabled"),
+    _schema(MessageType.REPLACE_REQUEST, "replica", "node"),
+    # Local manager -> global manager completions
+    _schema(MessageType.RESIZE_COMPLETE, "units", optional=("nodes",)),
+    _schema(MessageType.OFFLINE_COMPLETE, "nodes", "unpulled"),
+    _schema(MessageType.REPLACE_COMPLETE, "units", "redelivered"),
+    # Failure detection and recovery
+    _schema(MessageType.HEARTBEAT, "member"),
+    _schema(MessageType.REPLICA_SUSPECT, "container", "replica", "suspected_at"),
+    # Transactions (D2T, Figure 6)
+    _schema(MessageType.TXN_VOTE_REQUEST, "txn_id"),
+    _schema(MessageType.TXN_VOTE, "txn_id", "vote"),
+    _schema(MessageType.TXN_COMMIT, "txn_id"),
+    _schema(MessageType.TXN_ABORT, "txn_id"),
+    _schema(MessageType.TXN_ACK, "txn_id"),
+    # DataTap metadata (re-sent verbatim by the link on redelivery)
+    _schema(MessageType.DATA_METADATA, "chunk_id", "seq", "nbytes", "natoms",
+            "timestep", "writer", "writer_node"),
+    # Intentionally open-ended payloads
+    _schema(MessageType.ACK, freeform=True),
+    _schema(MessageType.NACK, freeform=True),
+    _schema(MessageType.METRIC_REPORT, freeform=True),
+    _schema(MessageType.METRIC_AGGREGATE, freeform=True),
+    _schema(MessageType.SPEEDUP_QUERY, freeform=True),
+    _schema(MessageType.SPEEDUP_REPLY, freeform=True),
+)}
+
+
+def validate_message(message: "Message") -> None:
+    """Validate ``message`` against its declared schema, if it has one.
+
+    Message types without a registry entry are accepted as-is: the registry
+    constrains the protocol messages it declares without forbidding ad-hoc
+    types in tests and examples.
+    """
+    schema = SCHEMAS.get(message.mtype)
+    if schema is not None:
+        schema.validate(message)

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.simkernel import Environment
 from repro.cluster.node import Node
+from repro.controlplane import ControlPlaneEngine, protocols
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
 from repro.transactions.participants import TxnGroup
@@ -54,6 +55,7 @@ class D2TCoordinator:
         name: str = "txn-coord",
         vote_timeout: float = 5.0,
         ack_timeout: float = 5.0,
+        engine: Optional[ControlPlaneEngine] = None,
     ):
         self.env = env
         self.messenger = messenger
@@ -62,6 +64,7 @@ class D2TCoordinator:
         self.vote_timeout = vote_timeout
         self.ack_timeout = ack_timeout
         self.endpoint = messenger.endpoint(node, name)
+        self.engine = engine if engine is not None else ControlPlaneEngine(env)
         self.outcomes: List[TxnOutcome] = []
 
     def run(self, groups: List[TxnGroup]):
@@ -70,64 +73,86 @@ class D2TCoordinator:
 
     def _run(self, groups: List[TxnGroup]):
         txn_id = next(_TXN_IDS)
-        started = self.env.now
-        # Phase 1: vote requests to every group root.
-        for group in groups:
+        outcome = yield self.engine.execute(
+            protocols.D2T_COMMIT,
+            subject=f"txn-{txn_id}",
+            data={
+                "coord": self,
+                "groups": groups,
+                "txn_id": txn_id,
+                "started": self.env.now,
+                "votes": [],
+                "pending": {g.root.endpoint.name: g.name for g in groups},
+            },
+        )
+        return outcome
+
+    # D2T_COMMIT round bodies ----------------------------------------------------------
+
+    def _cp_vote_request(self, ctx):
+        """Phase 1: vote requests to every group root."""
+        for group in ctx["groups"]:
             yield self.messenger.send(
                 self.node,
                 group.root.endpoint.name,
                 Message(MessageType.TXN_VOTE_REQUEST, sender=self.name,
-                        payload={"txn_id": txn_id}),
+                        payload={"txn_id": ctx["txn_id"]}),
             )
-        votes: List[bool] = []
-        timed_out: List[str] = []
-        deadline = self.env.timeout(self.vote_timeout)
-        pending = {group.root.endpoint.name: group.name for group in groups}
+
+    def _cp_collect_votes(self, ctx):
+        """Gather aggregated votes; the engine's round timeout is the
+        presumed-abort deadline — groups still pending when it interrupts
+        this collector are treated as voting abort."""
+        txn_id = ctx["txn_id"]
+        pending = ctx["pending"]
         while pending:
-            recv = self.endpoint.recv(
+            reply = yield self.endpoint.recv(
                 MessageType.TXN_VOTE,
                 where=lambda m: m.payload["txn_id"] == txn_id,
             )
-            result = yield recv | deadline
-            if deadline in result:
-                timed_out.extend(pending.values())
-                break
-            reply = result[recv]
             pending.pop(reply.sender, None)
-            votes.append(reply.payload["vote"])
-        committed = bool(votes) and all(votes) and not timed_out
-        decided = self.env.now
+            ctx["votes"].append(reply.payload["vote"])
 
-        # Phase 2: decision + aggregated acks.
+    def _cp_decide(self, ctx):
+        """Phase 2: decide and broadcast to the reachable roots."""
+        votes = ctx["votes"]
+        timed_out = list(ctx["pending"].values())
+        committed = bool(votes) and all(votes) and not timed_out
+        ctx["timed_out"] = timed_out
+        ctx["committed"] = committed
+        ctx["decided"] = self.env.now
         decision = MessageType.TXN_COMMIT if committed else MessageType.TXN_ABORT
-        reachable = [g for g in groups if g.name not in timed_out]
+        reachable = [g for g in ctx["groups"] if g.name not in timed_out]
+        ctx["reachable"] = reachable
+        ctx["remaining"] = len(reachable)
         for group in reachable:
             yield self.messenger.send(
                 self.node,
                 group.root.endpoint.name,
-                Message(decision, sender=self.name, payload={"txn_id": txn_id}),
+                Message(decision, sender=self.name,
+                        payload={"txn_id": ctx["txn_id"]}),
             )
-        acks_complete = True
-        ack_deadline = self.env.timeout(self.ack_timeout)
-        remaining = len(reachable)
-        while remaining:
-            recv = self.endpoint.recv(
+
+    def _cp_collect_acks(self, ctx):
+        """Aggregated acks; missing acks (deadline interrupt) do not change
+        the decision, only the outcome's ``acks_complete`` flag."""
+        txn_id = ctx["txn_id"]
+        while ctx["remaining"]:
+            yield self.endpoint.recv(
                 MessageType.TXN_ACK,
                 where=lambda m: m.payload["txn_id"] == txn_id,
             )
-            result = yield recv | ack_deadline
-            if ack_deadline in result:
-                acks_complete = False
-                break
-            remaining -= 1
+            ctx["remaining"] -= 1
+
+    def _cp_finalize(self, ctx) -> None:
         outcome = TxnOutcome(
-            txn_id=txn_id,
-            committed=committed,
-            started_at=started,
-            decided_at=decided,
+            txn_id=ctx["txn_id"],
+            committed=ctx["committed"],
+            started_at=ctx["started"],
+            decided_at=ctx["decided"],
             finished_at=self.env.now,
-            timed_out_groups=timed_out,
-            acks_complete=acks_complete,
+            timed_out_groups=ctx["timed_out"],
+            acks_complete=ctx["remaining"] == 0,
         )
         self.outcomes.append(outcome)
-        return outcome
+        ctx.result = outcome

@@ -6,6 +6,7 @@ from typing import Callable, List, Optional
 
 from repro.simkernel import Environment
 from repro.cluster.node import Node
+from repro.controlplane import ControlPlaneEngine, ProtocolAbort, protocols
 from repro.evpath.channel import Messenger
 from repro.transactions.coordinator import D2TCoordinator, TxnOutcome
 from repro.transactions.failures import FailureInjector
@@ -23,13 +24,16 @@ class TransactionManager:
         injector: Optional[FailureInjector] = None,
         vote_timeout: float = 5.0,
         ack_timeout: float = 5.0,
+        engine: Optional[ControlPlaneEngine] = None,
     ):
         self.env = env
         self.messenger = messenger
         self.node = node
         self.injector = injector
+        self.engine = engine if engine is not None else ControlPlaneEngine(env)
         self.coordinator = D2TCoordinator(
-            env, messenger, node, vote_timeout=vote_timeout, ack_timeout=ack_timeout
+            env, messenger, node, vote_timeout=vote_timeout, ack_timeout=ack_timeout,
+            engine=self.engine,
         )
         #: scripted trade failures: list of ("decrease"|"increase") to fail,
         #: consumed in order — used by resilience tests
@@ -81,12 +85,32 @@ class TransactionManager:
         )
 
     def _run_trade(self, global_manager, donor: str, recipient: str, count: int):
-        gm = global_manager
+        result = yield self.engine.execute(
+            protocols.TRADE,
+            subject=f"{donor}->{recipient}",
+            data={
+                "tm": self,
+                "gm": global_manager,
+                "donor": donor,
+                "recipient": recipient,
+                "count": count,
+                "freed": [],
+            },
+        )
+        return result if result is not None else []
+
+    # TRADE round bodies ---------------------------------------------------------------
+
+    def _tr_prepare(self, ctx):
+        """Prepare / vote: both parties check feasibility."""
+        gm = ctx["gm"]
+        donor, recipient = ctx["donor"], ctx["recipient"]
         donor_mgr = gm._manager(donor)
         recipient_mgr = gm._manager(recipient)
-
-        # Prepare / vote: both parties check feasibility.
-        donor_can = donor_mgr.container.units > count and not donor_mgr.container.offline
+        donor_can = (
+            donor_mgr.container.units > ctx["count"]
+            and not donor_mgr.container.offline
+        )
         recipient_can = (
             not recipient_mgr.container.offline and recipient_mgr.container.active
         )
@@ -94,30 +118,49 @@ class TransactionManager:
             self.trades_aborted += 1
             gm.actions_taken.append(f"trade {donor}->{recipient} aborted (prepare)")
             yield self.env.timeout(0)
-            return []
+            raise ProtocolAbort("prepare refused", result=[])
 
-        if self.trade_faults and self.trade_faults[0] == "decrease":
-            self.trade_faults.pop(0)
+    def _tr_fault(self, ctx, kind: str) -> None:
+        """Scripted failure injection point (resilience tests)."""
+        if not (self.trade_faults and self.trade_faults[0] == kind):
+            return
+        self.trade_faults.pop(0)
+        gm = ctx["gm"]
+        donor, recipient = ctx["donor"], ctx["recipient"]
+        if kind == "decrease":
             self.trades_aborted += 1
-            gm.actions_taken.append(f"trade {donor}->{recipient} aborted (decrease failed)")
-            return []
-
-        freed = yield gm.decrease(donor, count)
-
-        if self.trade_faults and self.trade_faults[0] == "increase":
-            self.trade_faults.pop(0)
-            # Compensation: the freed nodes must not be lost — return them
-            # to the spare pool where the next control round can use them.
-            for node in freed:
-                gm.scheduler._free.append(node)
-            self.trades_compensated += 1
             gm.actions_taken.append(
-                f"trade {donor}->{recipient} compensated ({len(freed)} nodes to spare)"
+                f"trade {donor}->{recipient} aborted (decrease failed)"
             )
-            return []
+            raise ProtocolAbort("decrease failed", result=[])
+        # An increase-side failure aborts *after* the decrease committed:
+        # the decrease round's compensation returns the freed nodes.
+        raise ProtocolAbort("increase failed", result=[])
 
-        if freed:
-            yield gm.increase(recipient, len(freed), nodes=freed)
+    def _tr_decrease(self, ctx):
+        ctx["freed"] = yield ctx["gm"].decrease(ctx["donor"], ctx["count"])
+
+    def _tr_compensate(self, ctx) -> None:
+        """The freed nodes must not be lost — back to the spare pool."""
+        gm = ctx["gm"]
+        freed = ctx["freed"]
+        for node in freed:
+            gm.scheduler._free.append(node)
+        self.trades_compensated += 1
+        gm.actions_taken.append(
+            f"trade {ctx['donor']}->{ctx['recipient']} compensated "
+            f"({len(freed)} nodes to spare)"
+        )
+
+    def _tr_increase(self, ctx):
+        freed = ctx["freed"]
+        yield ctx["gm"].increase(ctx["recipient"], len(freed), nodes=freed)
+
+    def _tr_commit(self, ctx) -> None:
+        gm = ctx["gm"]
+        freed = ctx["freed"]
         self.trades_committed += 1
-        gm.actions_taken.append(f"trade {donor}->{recipient} committed x{len(freed)}")
-        return freed
+        gm.actions_taken.append(
+            f"trade {ctx['donor']}->{ctx['recipient']} committed x{len(freed)}"
+        )
+        ctx.result = freed

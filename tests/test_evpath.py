@@ -70,7 +70,8 @@ class TestEndpoints:
         def sender(env):
             yield messenger.send(machine.nodes[0], "dst", Message(MessageType.ACK, "s"))
             yield messenger.send(
-                machine.nodes[0], "dst", Message(MessageType.DECREASE_REQUEST, "s")
+                machine.nodes[0], "dst",
+                Message(MessageType.DECREASE_REQUEST, "s", payload={"count": 1}),
             )
 
         env.process(receiver(env))
