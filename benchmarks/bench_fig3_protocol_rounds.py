@@ -33,11 +33,11 @@ def run_increase(new_nodes=2):
 
     env.process(do(env))
     pipe.run(settle=60)
-    return pipe.tracer.of("increase")[0]
+    return pipe.tracer.of("increase")[0], pipe
 
 
 def test_fig3_increase_protocol_rounds(benchmark):
-    record = benchmark.pedantic(run_increase, rounds=1, iterations=1)
+    record, _ = benchmark.pedantic(run_increase, rounds=1, iterations=1)
     print_table(
         "Figure 3: increase protocol rounds (+2 replicas)",
         ["#", "Round"],
@@ -59,8 +59,34 @@ def test_fig3_increase_protocol_rounds(benchmark):
 
 def test_fig3_rounds_scale_with_replicas(benchmark):
     def both():
-        return run_increase(1), run_increase(3)
+        return run_increase(1)[0], run_increase(3)[0]
 
     small, big = benchmark.pedantic(both, rounds=1, iterations=1)
     assert len(big.rounds) > len(small.rounds)
     assert big.messages["intra_container"] > small.messages["intra_container"]
+
+
+def test_fig3_engine_round_latency_breakdown(benchmark):
+    """The control-plane engine's structured trace of the same increase:
+    per-round simulated latency and message counts, straight from the
+    shared pipeline engine (no hand instrumentation)."""
+    record, pipe = benchmark.pedantic(run_increase, rounds=1, iterations=1)
+    trace = pipe.control_trace.of("increase")[0]
+    print_table(
+        "Figure 3: increase round latency breakdown (engine trace)",
+        ["Round", "Status", "Sim ms", "Messages"],
+        [[r.name, r.status, f"{r.seconds * 1000:.3f}", r.messages]
+         for r in trace.rounds],
+    )
+    benchmark.extra_info["round_breakdown"] = [r.as_dict() for r in trace.rounds]
+
+    assert trace.status == "committed"
+    executed = [r.name for r in trace.rounds if r.status != "skipped"]
+    assert executed == ["request", "spawn", "complete"]
+    # The trace accounts for every message the legacy record counted...
+    assert trace.messages == sum(record.messages.values())
+    # ...and for the protocol's whole simulated duration.
+    assert trace.total == pytest.approx(record.total, rel=0.25)
+    # The GM-side orchestration produced its own trace around this one.
+    gm_trace = pipe.control_trace.of("gm_increase")[0]
+    assert [r.name for r in gm_trace.rounds] == ["allocate", "validate", "request"]

@@ -62,6 +62,51 @@ def test_fig6_transaction_scalability(benchmark):
     assert times[-1] > times[0]
 
 
+def test_fig6_engine_phase_breakdown(benchmark):
+    """Per-phase latency of one committed 256:4 transaction, from the
+    engine's structured trace of the D2T_COMMIT spec."""
+    from repro.controlplane import ControlPlaneEngine, ControlPlaneTrace
+
+    def run():
+        env = Environment()
+        machine = redsky(env, num_nodes=256 + 5)
+        messenger = Messenger(env, machine.network)
+        engine = ControlPlaneEngine(env, trace=ControlPlaneTrace())
+        tm = TransactionManager(env, messenger, machine.nodes[-1], engine=engine)
+        wg = tm.build_group("writers", machine.nodes[:256], fanout=8)
+        rg = tm.build_group("readers", machine.nodes[256:260], fanout=8)
+        outcomes = []
+
+        def proc(env):
+            out = yield tm.run([wg, rg])
+            outcomes.append(out)
+
+        env.process(proc(env))
+        env.run(until=60)
+        return outcomes[0], engine.trace.of("d2t_commit")[0]
+
+    outcome, trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Figure 6: D2T commit phase breakdown (256:4, engine trace)",
+        ["Phase", "Status", "Sim ms", "Messages"],
+        [[r.name, r.status, f"{r.seconds * 1000:.3f}", r.messages]
+         for r in trace.rounds],
+    )
+    benchmark.extra_info["phase_breakdown"] = [r.as_dict() for r in trace.rounds]
+
+    assert outcome.committed
+    assert trace.status == "committed"
+    assert [r.name for r in trace.rounds] == [
+        "vote_request", "collect_votes", "decide", "collect_acks", "finalize",
+    ]
+    # The trace's phase boundaries reproduce the outcome's vote phase: the
+    # decision is stamped as the decide round begins.
+    vote = sum(r.seconds for r in trace.rounds
+               if r.name in ("vote_request", "collect_votes"))
+    assert vote == pytest.approx(outcome.vote_phase, rel=0.01)
+    assert trace.total == pytest.approx(outcome.total, rel=0.01)
+
+
 def test_fig6_failure_does_not_change_scaling(benchmark):
     """A crash-induced abort costs one timeout, independent of group size."""
     from repro.transactions import FailureInjector

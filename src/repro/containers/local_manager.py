@@ -214,9 +214,12 @@ class LocalManager:
 
         The shared tail of every control protocol: build the reply, send it
         over the control plane, charge the manager-to-manager round, and
-        stamp the record finished.  ``charge_seconds`` overrides the charged
-        duration (offline charges the reply at zero cost because the freed
-        nodes are already surrendered when it is sent).
+        stamp the record finished.  ``record`` is either the legacy
+        :class:`ProtocolCost` or an engine :class:`Context` (whose charge
+        mirrors into the structured round trace as well).  ``charge_seconds``
+        overrides the charged duration (offline charges the reply at zero
+        cost because the freed nodes are already surrendered when it is
+        sent).
         """
         reply = msg.reply(mtype, sender=self.endpoint.name, payload=payload)
         t0 = self.env.now
@@ -224,7 +227,10 @@ class LocalManager:
         if record is not None:
             elapsed = (self.env.now - t0) if charge_seconds is None else charge_seconds
             record.charge("manager", elapsed, messages=1)
-            record.finished_at = self.env.now
+            # A Context wraps the legacy cost record; stamp whichever exists.
+            cost = getattr(record, "record", record)
+            if cost is not None:
+                cost.finished_at = self.env.now
 
     def _mark(self, text: str) -> None:
         if self.telemetry is not None:

@@ -66,6 +66,52 @@ def run_table2(**_) -> dict:
 # -- microbenchmarks ---------------------------------------------------------------
 
 
+def run_fig3(seed: int = 0, **_) -> dict:
+    """Figure 3: the container control protocols, round by round.
+
+    Drives INCREASE, DECREASE, SET_STRIDE, and OFFLINE against a small
+    pipeline and reports the control-plane engine's structured traces:
+    one row per executed round with its simulated duration and message
+    count, plus the full per-protocol traces (labels, charged categories,
+    abort/compensation info) for JSON output.
+    """
+    env = Environment()
+    wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=15,
+                             spare_staging_nodes=2,
+                             output_interval=15.0, total_steps=8)
+    pipe = PipelineBuilder(env, wl, seed=seed, control_interval=10_000).build()
+    gm = pipe.global_manager
+
+    def do(env):
+        yield env.timeout(1)
+        yield gm.increase("bonds", 2)
+        yield env.timeout(40)
+        yield gm.decrease("bonds", 1)
+        yield gm.set_stride("csym", 2)
+        yield gm.take_offline("csym")
+
+    env.process(do(env))
+    pipe.run(settle=120)
+    rows = []
+    for trace in pipe.control_trace.records:
+        for rnd in trace.rounds:
+            if rnd.status == "skipped":
+                continue
+            rows.append({
+                "protocol": trace.protocol,
+                "subject": trace.subject,
+                "round": rnd.name,
+                "status": rnd.status,
+                "seconds": round(rnd.seconds, 6),
+                "messages": rnd.messages,
+            })
+    return {
+        "experiment": "fig3",
+        "rows": rows,
+        "traces": [t.as_dict() for t in pipe.control_trace.records],
+    }
+
+
 def run_fig4(sizes=(1, 2, 4, 8, 16), seed: int = 0, **_) -> dict:
     """Figure 4: time to increase container size (aprun factored out)."""
     series = []
@@ -233,6 +279,7 @@ def run_fig10(seed: int = 1, **_) -> dict:
 EXPERIMENTS: Dict[str, callable] = {
     "table1": run_table1,
     "table2": run_table2,
+    "fig3": run_fig3,
     "fig4": run_fig4,
     "fig5": run_fig5,
     "fig6": run_fig6,

@@ -1,0 +1,141 @@
+"""Property tests for the control-plane engine's abort semantics.
+
+The engine's contract (DESIGN.md, "Control plane"): whichever round a
+protocol aborts in, every *completed* round's compensation runs exactly
+once, in reverse order, so no resource acquired along the way is lost —
+and a retry of the same spec afterwards behaves as if the aborted attempt
+never happened (idempotent recovery, the Section III-A "never lost"
+guarantee the trade transaction builds on).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simkernel import Environment
+from repro.controlplane import (
+    ControlPlaneEngine,
+    ControlPlaneTrace,
+    ProtocolAbort,
+    ProtocolSpec,
+    Round,
+)
+
+POOL = list(range(100, 110))
+
+
+def make_spec(n_rounds, abort_at, delays, state):
+    """A protocol whose rounds each take a resource from a shared pool.
+
+    The round at ``abort_at`` aborts before acquiring (the shape real specs
+    use: validation aborts carry no side effects of their own); every other
+    round's compensation returns its resource.  ``delays[i]`` > 0 makes
+    round i a generator handler that holds simulated time.
+    """
+    env, pool, acquired = state["env"], state["pool"], state["acquired"]
+
+    def make_round(i):
+        def take(ctx):
+            if i == abort_at:
+                raise ProtocolAbort(f"injected at round {i}")
+            acquired.append(pool.pop())
+
+        def take_slowly(ctx):
+            yield env.timeout(delays[i])
+            take(ctx)
+
+        def give_back(ctx):
+            pool.append(acquired.pop())
+
+        return Round(
+            f"r{i}",
+            handler=take_slowly if delays[i] > 0 else take,
+            compensate=give_back,
+        )
+
+    return ProtocolSpec("prop", tuple(make_round(i) for i in range(n_rounds)))
+
+
+def run(spec, engine, env):
+    done = {}
+
+    def driver(env):
+        done["result"] = yield engine.execute(spec, subject="prop")
+
+    env.process(driver(env))
+    env.run()
+    return done["result"]
+
+
+@given(
+    n_rounds=st.integers(min_value=1, max_value=6),
+    abort_offset=st.integers(min_value=0, max_value=5),
+    delays=st.lists(
+        st.sampled_from([0.0, 0.5, 2.0]), min_size=6, max_size=6
+    ),
+)
+@settings(max_examples=80, deadline=None)
+def test_abort_at_any_round_restores_state_and_retry_succeeds(
+    n_rounds, abort_offset, delays
+):
+    abort_at = abort_offset % n_rounds
+    env = Environment()
+    engine = ControlPlaneEngine(env, trace=ControlPlaneTrace())
+    state = {"env": env, "pool": list(POOL), "acquired": []}
+
+    # Aborted attempt: every acquired resource must come back.
+    run(make_spec(n_rounds, abort_at, delays, state), engine, env)
+    assert sorted(state["pool"]) == sorted(POOL)
+    assert state["acquired"] == []
+
+    trace = engine.trace.records[0]
+    assert trace.status == "aborted"
+    assert trace.abort_reason == f"injected at round {abort_at}"
+    # Exactly the completed rounds compensated, in reverse order.
+    assert trace.compensated == [f"r{i}" for i in reversed(range(abort_at))]
+
+    # Retry is idempotent: a second aborted attempt leaves the same state...
+    run(make_spec(n_rounds, abort_at, delays, state), engine, env)
+    assert sorted(state["pool"]) == sorted(POOL)
+    assert state["acquired"] == []
+
+    # ...and a clean retry commits as if no abort ever happened.
+    run(make_spec(n_rounds, None, delays, state), engine, env)
+    committed = engine.trace.records[-1]
+    assert committed.status == "committed"
+    assert committed.compensated == []
+    assert len(state["acquired"]) == n_rounds
+    assert sorted(state["pool"] + state["acquired"]) == sorted(POOL)
+
+
+@given(
+    n_rounds=st.integers(min_value=1, max_value=5),
+    fail_after=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_mid_round_abort_compensates_only_completed_rounds(n_rounds, fail_after):
+    """An abort raised *after* a round's side effect: that round has not
+    completed, so its own compensation must not run — the handler is
+    responsible for its in-flight state, mirroring how the trade protocol
+    splits fault points from the rounds they poison."""
+    fail_at = fail_after % n_rounds
+    env = Environment()
+    engine = ControlPlaneEngine(env, trace=ControlPlaneTrace())
+    effects = []
+
+    def make_round(i):
+        def handler(ctx):
+            effects.append(i)
+            if i == fail_at:
+                effects.pop()  # self-clean before aborting
+                raise ProtocolAbort("late abort")
+
+        def undo(ctx):
+            effects.remove(i)
+
+        return Round(f"r{i}", handler=handler, compensate=undo)
+
+    spec = ProtocolSpec("mid", tuple(make_round(i) for i in range(n_rounds)))
+    run(spec, engine, env)
+    assert effects == []
+    assert engine.trace.records[0].compensated == [
+        f"r{i}" for i in reversed(range(fail_at))
+    ]

@@ -12,7 +12,7 @@ from repro.experiments.__main__ import main
 class TestRunners:
     def test_registry_covers_every_table_and_figure(self):
         assert set(EXPERIMENTS) == {
-            "table1", "table2", "fig4", "fig5", "fig6",
+            "table1", "table2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10",
         }
 
