@@ -134,6 +134,9 @@ def chaos_metrics(pipe, finished):
         "final_bonds_latency": final_latency,
         "recovery_rounds": pipe.recovery.rounds,
         "redelivered": rec["redelivered"],
+        # Fire-and-forget completions the crash swallowed: noise the kernel
+        # tolerates by design, but it must be *surfaced*, not silent.
+        "swallowed_faults": pipe.env.swallowed_faults,
     }
 
 
@@ -177,6 +180,7 @@ def emit_report(metrics):
             "chaos.duplicates": metrics["duplicates"],
             "chaos.recovery_rounds": metrics["recovery_rounds"],
             "chaos.redelivered": metrics["redelivered"],
+            "chaos.swallowed_faults": metrics["swallowed_faults"],
         },
         meta={
             "bench": "bench_chaos",

@@ -135,6 +135,31 @@ class Pipeline:
                 self.monitoring_overlay.stop()
         return finished
 
+    def node_census(self) -> dict:
+        """Where every staging node currently is, by node id.
+
+        The :mod:`repro.dst` node-conservation oracle's raw data: the
+        scheduler's pool, its free list (as a list — duplicates are a bug
+        the oracle checks for), quarantined crash victims, and the nodes
+        held by containers (live replicas plus standby reservations).
+        Census by replica/standby membership, not scheduler jobs: several
+        recovery paths legitimately move nodes without updating job
+        bookkeeping.
+        """
+        sched = self.scheduler
+        pool = {n.node_id for n in sched.pool.nodes}
+        free = [n.node_id for n in sched._free]
+        failed = {n.node_id for n in sched.failed_nodes if n.node_id in pool}
+        held = set()
+        for container in self.containers.values():
+            for replica in container.replicas:
+                if not replica.crashed and replica.node.node_id in pool:
+                    held.add(replica.node.node_id)
+            for node in container.standby_nodes:
+                if node.node_id not in failed:
+                    held.add(node.node_id)
+        return {"pool": pool, "free": free, "failed": failed, "held": held}
+
     def perf_snapshot(self) -> dict:
         """Timers/counters accumulated during this process's runs — the
         machine-readable view the kernel bench serializes."""

@@ -85,6 +85,60 @@ class ProtocolTrace:
         self.rounds.append(rt)
         return rt
 
+    def audit(self) -> List[str]:
+        """Structural well-formedness problems of a *finished* trace.
+
+        The contract every engine-run protocol must satisfy (the DST
+        trace-well-formedness oracle): rounds execute in order with
+        non-negative, non-overlapping durations; a committed trace carries
+        no abort reason and no compensation; an aborted trace names its
+        reason and compensated *completed* rounds in reverse execution
+        order.  Returns a list of human-readable problems (empty = clean).
+        """
+        problems: List[str] = []
+        head = f"{self.protocol}[{self.subject}]"
+        executed: List[str] = []
+        clock = self.started_at
+        for rnd in self.rounds:
+            if rnd.finished_at < rnd.started_at:
+                problems.append(
+                    f"{head}: round {rnd.name!r} finished before it started"
+                )
+            if rnd.started_at < clock - 1e-9:
+                problems.append(
+                    f"{head}: round {rnd.name!r} started before its predecessor finished"
+                )
+            clock = max(clock, rnd.finished_at)
+            if rnd.status not in ("ok", "skipped", "timeout"):
+                problems.append(
+                    f"{head}: round {rnd.name!r} has unknown status {rnd.status!r}"
+                )
+            if rnd.status != "skipped":
+                executed.append(rnd.name)
+        if self.status == "committed":
+            if self.abort_reason is not None:
+                problems.append(f"{head}: committed with abort reason {self.abort_reason!r}")
+            if self.compensated:
+                problems.append(f"{head}: committed but compensated {self.compensated}")
+        elif self.status == "aborted":
+            if self.abort_reason is None:
+                problems.append(f"{head}: aborted without a reason")
+            # Compensations must replay completed rounds backwards: the
+            # compensated list, reversed, must be a subsequence of the
+            # executed-round order (every unwound round ran, and the unwind
+            # never jumps forward).
+            it = iter(executed)
+            for name in reversed(self.compensated):
+                if not any(r == name for r in it):
+                    problems.append(
+                        f"{head}: compensation order {self.compensated} does not "
+                        f"reverse executed rounds {executed}"
+                    )
+                    break
+        elif self.status == "running":
+            problems.append(f"{head}: trace never finished")
+        return problems
+
     def as_dict(self) -> dict:
         return {
             "protocol": self.protocol,

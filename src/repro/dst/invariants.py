@@ -1,0 +1,294 @@
+"""The invariant catalogue: always-on oracles over a running pipeline.
+
+Each :class:`Invariant` states a property that must hold on *every*
+schedule and under *every* fault plan — the correctness claims the DST
+harness checks while :class:`~repro.dst.scenario.DSTScenario` sweeps
+seeds.  Checkers are registered in :data:`INVARIANTS` and instantiated
+per run by :class:`InvariantMonitor`, which sweeps them periodically in
+simulated time and once more after the run settles (``final=True``,
+where quiescent-only properties such as full node-pool coverage become
+checkable).
+
+Checkers must be *sound on legal schedules*: a property that can be
+transiently violated mid-protocol (nodes in flight during a resize, a
+timestep between pull and ack) is only asserted at quiescence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.perf.registry import REGISTRY
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant violation: which oracle, when, and what it saw."""
+
+    invariant: str
+    time: float
+    detail: str
+
+    def as_dict(self) -> dict:
+        return {"invariant": self.invariant, "time": self.time, "detail": self.detail}
+
+
+class Invariant:
+    """Base class: subclasses override :meth:`check` (and optionally keep
+    state across sweeps, reset via :meth:`reset`)."""
+
+    name = "invariant"
+
+    def reset(self, pipe) -> None:
+        """Called once before the run starts."""
+
+    def check(self, pipe, final: bool) -> List[str]:
+        """Return a list of problem strings (empty = invariant holds)."""
+        raise NotImplementedError
+
+
+#: name -> checker class; ``InvariantMonitor`` instantiates from here.
+INVARIANTS: Dict[str, Type[Invariant]] = {}
+
+
+def register(cls: Type[Invariant]) -> Type[Invariant]:
+    INVARIANTS[cls.name] = cls
+    return cls
+
+
+def _quiescent(pipe) -> bool:
+    """No control-plane protocol is mid-flight."""
+    return all(t.status != "running" for t in pipe.control_trace.records)
+
+
+@register
+class NodeConservation(Invariant):
+    """Spare pool + container allocations + quarantined = cluster size.
+
+    During the run only schedule-independent facts are asserted (the free
+    list holds no duplicates and no crashed or container-held node); full
+    pool coverage is asserted at quiescence, when no protocol holds nodes
+    in flight.
+    """
+
+    name = "node_conservation"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        census = pipe.node_census()
+        pool, free = census["pool"], census["free"]
+        failed, held = census["failed"], census["held"]
+        problems: List[str] = []
+        dupes = sorted({n for n in free if free.count(n) > 1})
+        if dupes:
+            problems.append(f"free list holds duplicates: {dupes}")
+        free_set = set(free)
+        leaked_failed = sorted(free_set & failed)
+        if leaked_failed:
+            problems.append(f"crashed nodes back in the free pool: {leaked_failed}")
+        stray = sorted(free_set - pool)
+        if stray:
+            problems.append(f"free list holds nodes outside the pool: {stray}")
+        if final and _quiescent(pipe):
+            double = sorted(free_set & held)
+            if double:
+                problems.append(f"nodes both free and container-held: {double}")
+            missing = sorted(pool - free_set - held - failed)
+            if missing:
+                problems.append(
+                    f"nodes unaccounted for (not free, held, or failed): {missing}"
+                )
+        return problems
+
+
+@register
+class ExactlyOnceDelivery(Invariant):
+    """Every timestep exits the pipeline at most once — and, if the driver
+    finished, exactly once.
+
+    The DataTap custody chain (retained buffers, link-level dedup,
+    redelivery on crash) exists precisely so that a crash neither loses a
+    timestep nor delivers it twice; ``pipe.end_to_end`` records the exits.
+    """
+
+    name = "exactly_once_delivery"
+
+    def __init__(self):
+        self._finished = False
+
+    def note_finished(self, finished: bool) -> None:
+        self._finished = finished
+
+    def check(self, pipe, final: bool) -> List[str]:
+        exits = [step for _, step, _ in pipe.end_to_end]
+        problems: List[str] = []
+        if len(exits) != len(set(exits)):
+            dupes = sorted({s for s in exits if exits.count(s) > 1})
+            problems.append(f"timesteps delivered more than once: {dupes}")
+        if final and self._finished and pipe.driver is not None:
+            expected = pipe.driver.workload.total_steps
+            if len(set(exits)) != expected:
+                problems.append(
+                    f"{len(set(exits))} distinct timesteps exited, expected {expected}"
+                )
+        return problems
+
+
+@register
+class ControlPlaneWellFormed(Invariant):
+    """Every finished protocol trace is structurally sound: rounds in
+    order, committed traces uncompensated, aborted traces compensated in
+    reverse execution order (see :meth:`ProtocolTrace.audit`)."""
+
+    name = "controlplane_well_formed"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        problems: List[str] = []
+        for trace in pipe.control_trace.records:
+            if trace.status == "running":
+                continue
+            problems.extend(trace.audit())
+        return problems
+
+
+@register
+class D2TPresumedAbort(Invariant):
+    """D2T safety: a transaction commits only on a full, unanimous yes.
+
+    Presumed abort means any silence (a timed-out group) or any no vote
+    must yield an abort decision; a recorded commit with a missing or
+    negative vote is a protocol violation.
+    """
+
+    name = "d2t_presumed_abort"
+
+    @staticmethod
+    def audit_outcomes(outcomes) -> List[str]:
+        problems: List[str] = []
+        for out in outcomes:
+            head = f"txn-{out.txn_id}"
+            if out.committed:
+                if not out.votes:
+                    problems.append(f"{head}: committed with no votes collected")
+                elif not all(out.votes):
+                    problems.append(f"{head}: committed over a no vote: {out.votes}")
+                if out.timed_out_groups:
+                    problems.append(
+                        f"{head}: committed despite timed-out groups "
+                        f"{out.timed_out_groups} (presumed abort)"
+                    )
+            if out.decided_at < out.started_at or out.finished_at < out.decided_at:
+                problems.append(f"{head}: non-monotone phase timestamps")
+        return problems
+
+    def check(self, pipe, final: bool) -> List[str]:
+        tm = getattr(pipe.global_manager, "transaction_manager", None)
+        if tm is None or getattr(tm, "coordinator", None) is None:
+            return []
+        return self.audit_outcomes(tm.coordinator.outcomes)
+
+
+@register
+class MonotonePerf(Invariant):
+    """Accounting only accumulates: perf timers/counters never decrease
+    between sweeps, per-timer stats stay ordered (min <= mean <= max), and
+    wall-clock-indexed telemetry series are recorded in time order
+    (``*_by_step`` series are indexed by timestep, not time, and exempt).
+    """
+
+    name = "monotone_perf"
+
+    def __init__(self):
+        self._timers: Dict[str, tuple] = {}
+        self._counters: Dict[str, int] = {}
+
+    def reset(self, pipe) -> None:
+        self._timers.clear()
+        self._counters.clear()
+
+    def check(self, pipe, final: bool) -> List[str]:
+        problems: List[str] = []
+        for name, stats in REGISTRY._timers.items():
+            prev = self._timers.get(name)
+            cur = (stats.calls, stats.total_seconds)
+            if prev is not None and (cur[0] < prev[0] or cur[1] < prev[1] - 1e-12):
+                problems.append(f"timer {name!r} went backwards: {prev} -> {cur}")
+            self._timers[name] = cur
+            if stats.calls and not (
+                stats.min_seconds - 1e-12
+                <= stats.mean_seconds
+                <= stats.max_seconds + 1e-12
+            ):
+                problems.append(f"timer {name!r} stats out of order: {stats.as_dict()}")
+        for name, value in REGISTRY._counters.items():
+            prev = self._counters.get(name)
+            if prev is not None and value < prev:
+                problems.append(f"counter {name!r} went backwards: {prev} -> {value}")
+            self._counters[name] = value
+        for (scope, metric), series in pipe.telemetry._series.items():
+            if metric.endswith("_by_step"):
+                continue
+            times = series.times
+            for i in range(1, len(times)):
+                if times[i] < times[i - 1]:
+                    problems.append(
+                        f"series {scope}.{metric} recorded out of time order "
+                        f"at index {i}: {times[i - 1]} -> {times[i]}"
+                    )
+                    break
+        return problems
+
+
+class InvariantMonitor:
+    """Periodically sweeps a set of invariant checkers over a pipeline.
+
+    Attach before (or just after) ``pipe.run()`` starts; the monitor
+    re-checks every ``interval`` simulated seconds and deduplicates
+    repeated reports of the same problem.  Call :meth:`finish` after the
+    run for the final (quiescence-aware) sweep and the violation list.
+    """
+
+    def __init__(self, pipe, invariants: Optional[List[str]] = None,
+                 interval: float = 10.0):
+        self.pipe = pipe
+        names = list(INVARIANTS) if invariants is None else list(invariants)
+        unknown = [n for n in names if n not in INVARIANTS]
+        if unknown:
+            raise ValueError(f"unknown invariants {unknown}; known: {sorted(INVARIANTS)}")
+        self.checkers: List[Invariant] = [INVARIANTS[n]() for n in names]
+        for checker in self.checkers:
+            checker.reset(pipe)
+        self.violations: List[Violation] = []
+        self._seen = set()
+        self.sweeps = 0
+        self.interval = interval
+        self._proc = pipe.env.process(self._loop(), name="dst-monitor")
+
+    def _loop(self):
+        while True:
+            yield self.pipe.env.timeout(self.interval)
+            self.sweep(final=False)
+
+    def sweep(self, final: bool) -> None:
+        self.sweeps += 1
+        now = self.pipe.env.now
+        for checker in self.checkers:
+            try:
+                problems = checker.check(self.pipe, final)
+            except Exception as exc:  # noqa: BLE001 - a broken oracle is a finding
+                problems = [f"checker raised {exc!r}"]
+            for problem in problems:
+                key = (checker.name, problem)
+                if key in self._seen:
+                    continue
+                self._seen.add(key)
+                self.violations.append(Violation(checker.name, now, problem))
+
+    def note_finished(self, finished: bool) -> None:
+        for checker in self.checkers:
+            if isinstance(checker, ExactlyOnceDelivery):
+                checker.note_finished(finished)
+
+    def finish(self) -> List[Violation]:
+        self.sweep(final=True)
+        return self.violations

@@ -1,0 +1,77 @@
+"""Pipeline presets: named, reproducible experiment configurations.
+
+A preset is a zero-argument recipe producing a fully wired
+:class:`~repro.containers.pipeline.Pipeline` on a given
+:class:`~repro.simkernel.Environment` — the fixed half of a
+:class:`~repro.dst.scenario.DSTScenario` (the variable half being the
+fault plan and the schedule seed).  Keeping presets tiny keeps a sweep
+of 20 seeds affordable in CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.simkernel import Environment
+from repro.containers.pipeline import Pipeline, PipelineBuilder
+from repro.lammps.workload import WeakScalingWorkload
+
+PresetFn = Callable[[Environment], Pipeline]
+
+#: name -> builder; scenarios refer to presets by name so repro reports
+#: stay self-describing.
+PRESETS: Dict[str, PresetFn] = {}
+
+
+def preset(name: str):
+    def wrap(fn: PresetFn) -> PresetFn:
+        PRESETS[name] = fn
+        return fn
+
+    return wrap
+
+
+@preset("smoke")
+def smoke(env: Environment) -> Pipeline:
+    """The CI scenario: Figure-7 stage mix at 8 timesteps, fault tolerance
+    on, two spare staging nodes for the recovery ladder to draw from."""
+    wl = WeakScalingWorkload(
+        sim_nodes=256,
+        staging_nodes=15,
+        spare_staging_nodes=2,
+        output_interval=15.0,
+        total_steps=8,
+    )
+    builder = PipelineBuilder(
+        env,
+        wl,
+        seed=1,
+        control_interval=30.0,
+        fault_tolerance=True,
+        heartbeat_interval=1.0,
+        lease_timeout=5.0,
+    )
+    return builder.build()
+
+
+@preset("smoke_no_spares")
+def smoke_no_spares(env: Environment) -> Pipeline:
+    """Same mix with an empty spare pool: replacement must steal capacity,
+    exercising the GM_REPLACE abort/degrade and TRADE paths."""
+    wl = WeakScalingWorkload(
+        sim_nodes=256,
+        staging_nodes=13,
+        spare_staging_nodes=0,
+        output_interval=15.0,
+        total_steps=8,
+    )
+    builder = PipelineBuilder(
+        env,
+        wl,
+        seed=1,
+        control_interval=30.0,
+        fault_tolerance=True,
+        heartbeat_interval=1.0,
+        lease_timeout=5.0,
+    )
+    return builder.build()

@@ -13,6 +13,7 @@ Command line::
 
 from repro.experiments.figures import (
     EXPERIMENTS,
+    run_dst,
     run_experiment,
     run_fig4,
     run_fig5,
@@ -27,6 +28,7 @@ from repro.experiments.figures import (
 
 __all__ = [
     "EXPERIMENTS",
+    "run_dst",
     "run_experiment",
     "run_fig4",
     "run_fig5",

@@ -27,6 +27,8 @@ def main(argv=None) -> int:
         help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
     )
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument("--seeds", type=int, default=None,
+                        help="number of schedule seeds to sweep (dst experiment)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write all results to a JSON file")
     parser.add_argument("--quiet", action="store_true",
@@ -40,20 +42,30 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
+    kwargs = {"seed": args.seed}
+    if args.seeds is not None:
+        kwargs["seeds"] = args.seeds
+
     results = {}
     for name in names:
-        result = run_experiment(name, seed=args.seed)
+        result = run_experiment(name, **kwargs)
         results[name] = result
         if not args.quiet:
             print(render(result))
             print()
 
+    # Write the JSON before deciding the exit code: a failing dst sweep must
+    # still leave its repro artifact on disk for CI to upload.
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(results, fh, indent=2)
         if not args.quiet:
             print(f"wrote {args.json}")
-    return 0
+
+    failed = [n for n, r in results.items() if r.get("ok") is False]
+    if failed and not args.quiet:
+        print(f"FAILED: {', '.join(failed)}", file=sys.stderr)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

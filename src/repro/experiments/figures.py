@@ -276,6 +276,41 @@ def run_fig10(seed: int = 1, **_) -> dict:
     }
 
 
+def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke", **_) -> dict:
+    """Deterministic simulation testing: sweep schedule seeds over the smoke
+    scenario, checking every registered invariant on every interleaving.
+
+    Stops at the first violating seed; the failure row then carries the
+    violation list, the event log, the greedily shrunk minimal fault plan,
+    and the one-line repro command.  ``ok`` is False exactly when a
+    violation was found (the CLI turns that into a nonzero exit).
+    """
+    from repro.dst import DSTScenario, explore, shrink
+
+    sc = DSTScenario(name=scenario, preset=scenario)
+    exploration = explore(sc, range(seed, seed + max(1, seeds)))
+    failing = None if exploration.failure is None else exploration.failure.seed
+    rows = [
+        {"seed": s, "ok": s != failing, "scenario": sc.name}
+        for s in exploration.seeds_run
+    ]
+    result = {
+        "experiment": "dst",
+        "ok": exploration.ok,
+        "rows": rows,
+        "failure": None,
+        "shrunk": None,
+    }
+    if exploration.failure is not None:
+        failure = exploration.failure
+        result["failure"] = failure.as_dict()
+        pipe_for_plan = sc.build(failure.seed)
+        plan = sc.resolve_plan(failure.seed, pipe_for_plan)
+        if plan is not None and plan.events:
+            result["shrunk"] = shrink(sc, failure.seed, plan).as_dict()
+    return result
+
+
 EXPERIMENTS: Dict[str, callable] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -287,6 +322,7 @@ EXPERIMENTS: Dict[str, callable] = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "fig10": run_fig10,
+    "dst": run_dst,
 }
 
 

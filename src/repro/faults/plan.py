@@ -152,6 +152,31 @@ class FaultPlan:
     def events_of(self, kind: FaultKind) -> Tuple[FaultEvent, ...]:
         return tuple(ev for ev in self.events if ev.kind is kind)
 
+    def subset(self, events: Iterable[FaultEvent]) -> "FaultPlan":
+        """A new plan with the same seed/scripted faults but only ``events``.
+
+        The :mod:`repro.dst` shrinker uses this to minimize a violating
+        schedule: events are copied verbatim (they are frozen dataclasses),
+        so the subset replays bit-identically minus the dropped faults.
+        """
+        plan = FaultPlan(seed=self.seed)
+        plan._events = list(events)
+        plan._scripted = dict(self._scripted)
+        return plan
+
+    def as_dicts(self) -> List[dict]:
+        """Timed events as JSON-ready dicts (the DST repro-report format)."""
+        return [
+            {
+                "time": ev.time,
+                "kind": ev.kind.value,
+                "targets": list(ev.targets),
+                "duration": ev.duration,
+                "severity": ev.severity,
+            }
+            for ev in self.events
+        ]
+
     # -- random generation -----------------------------------------------------
 
     @classmethod

@@ -25,7 +25,13 @@ Resource / Store
 
 from repro.simkernel.errors import FaultError, Interrupt, SimulationError, StopProcess
 from repro.simkernel.events import AllOf, AnyOf, Condition, Event, Timeout
-from repro.simkernel.core import Environment
+from repro.simkernel.core import (
+    Environment,
+    InsertionOrder,
+    SeededShuffle,
+    TieBreaker,
+    shuffle,
+)
 from repro.simkernel.process import Process
 from repro.simkernel.resources import PriorityResource, Preempted, Resource
 from repro.simkernel.store import FilterStore, QueueOverflow, Store, StoreReserve
@@ -38,15 +44,19 @@ __all__ = [
     "Event",
     "FaultError",
     "FilterStore",
+    "InsertionOrder",
     "Interrupt",
     "Preempted",
     "PriorityResource",
     "Process",
     "QueueOverflow",
     "Resource",
+    "SeededShuffle",
     "SimulationError",
     "StopProcess",
     "Store",
     "StoreReserve",
+    "TieBreaker",
     "Timeout",
+    "shuffle",
 ]

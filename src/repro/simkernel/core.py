@@ -1,10 +1,14 @@
 """The simulation environment: clock + event heap.
 
 The :class:`Environment` is deliberately minimal — a binary heap of
-``(time, priority, sequence, event)`` tuples.  The ``sequence`` counter makes
-scheduling fully deterministic: two events scheduled for the same time and
-priority always execute in scheduling order, so every experiment in this
-repository is exactly reproducible.
+``(time, priority, tie_key, event)`` tuples.  With the default
+:class:`InsertionOrder` tie-breaker the tie key is the scheduling sequence
+number, so two events scheduled for the same time and priority always
+execute in scheduling order and every experiment in this repository is
+exactly reproducible.  A :class:`SeededShuffle` tie-breaker instead
+permutes same-``(time, priority)`` event groups deterministically from a
+seed — the schedule-exploration knob the :mod:`repro.dst` harness sweeps:
+one seed is one reproducible interleaving.
 """
 
 from __future__ import annotations
@@ -21,6 +25,65 @@ class EmptySchedule(SimulationError):
     """Raised by :meth:`Environment.step` when no events remain."""
 
 
+class TieBreaker:
+    """Orders events that share a ``(time, priority)`` heap slot.
+
+    :meth:`key` maps the environment's scheduling sequence number to the
+    third element of the heap tuple.  Keys must be unique per event (so
+    the comparison never falls through to the events themselves) and of a
+    single type per environment (so heap comparisons stay well-defined).
+    """
+
+    def key(self, eid: int):
+        raise NotImplementedError
+
+
+class InsertionOrder(TieBreaker):
+    """The default: same-slot events run in scheduling order (bit-for-bit
+    the historical schedule — no behaviour change)."""
+
+    def key(self, eid: int) -> int:
+        return eid
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """The splitmix64 finalizer: a platform-stable 64-bit mix."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+class SeededShuffle(TieBreaker):
+    """Deterministically permutes same-``(time, priority)`` event groups.
+
+    Each event's tie key is ``(rank, eid)`` where ``rank`` is a stable
+    64-bit hash of ``(seed, eid)`` — independent of ``PYTHONHASHSEED`` and
+    platform — so equal-slot events are uniformly shuffled, the shuffle is
+    identical for an identical seed, and ``eid`` still breaks rank
+    collisions reproducibly.  Cross-slot ordering (time, then URGENT
+    before NORMAL) is untouched: only legal reorderings are explored.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+        self._base = _splitmix64(self.seed & _MASK64)
+
+    def key(self, eid: int):
+        return (_splitmix64(self._base ^ (eid & _MASK64)), eid)
+
+    def __repr__(self) -> str:
+        return f"<SeededShuffle seed={self.seed}>"
+
+
+def shuffle(seed: int) -> SeededShuffle:
+    """Convenience spelling: ``Environment(tie_breaker=shuffle(seed))``."""
+    return SeededShuffle(seed)
+
+
 class Environment:
     """A deterministic discrete-event simulation environment.
 
@@ -29,12 +92,18 @@ class Environment:
     initial_time:
         Starting value of the simulation clock (seconds by convention
         throughout :mod:`repro`).
+    tie_breaker:
+        Ordering of events that share a ``(time, priority)`` slot.  The
+        default :class:`InsertionOrder` preserves scheduling order;
+        :class:`SeededShuffle` explores a seeded permutation.
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0,
+                 tie_breaker: Optional[TieBreaker] = None):
         self._now = float(initial_time)
         self._queue: list = []
         self._eid = 0
+        self.tie_breaker = tie_breaker if tie_breaker is not None else InsertionOrder()
         self.active_process: Optional[Process] = None
         #: fire-and-forget actions lost to injected faults (see :meth:`step`)
         self.swallowed_faults = 0
@@ -73,7 +142,10 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, self.tie_breaker.key(self._eid), event),
+        )
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none remain."""

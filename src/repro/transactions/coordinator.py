@@ -27,6 +27,9 @@ class TxnOutcome:
     finished_at: float
     timed_out_groups: List[str] = field(default_factory=list)
     acks_complete: bool = True
+    #: aggregated votes actually collected (presumed-abort audit trail: a
+    #: commit requires every group's explicit yes — see repro.dst invariants)
+    votes: List[bool] = field(default_factory=list)
 
     @property
     def vote_phase(self) -> float:
@@ -153,6 +156,7 @@ class D2TCoordinator:
             finished_at=self.env.now,
             timed_out_groups=ctx["timed_out"],
             acks_complete=ctx["remaining"] == 0,
+            votes=list(ctx["votes"]),
         )
         self.outcomes.append(outcome)
         ctx.result = outcome

@@ -81,17 +81,70 @@ class TestContainerProtocolGoldens:
         assert_matches_golden(pipe.tracer.of("offline")[0], GOLDEN["offline_csym"])
 
     def test_replace(self):
-        from repro.faults import FaultPlan
-
-        env = Environment()
-        pipe = build(env, steps=10, spare=2, fault_tolerance=True,
-                     lease_timeout=5.0, heartbeat_interval=1.0)
-        victim = pipe.containers["bonds"].replicas[1]
-        plan = FaultPlan(seed=1)
-        plan.node_crash(30.0, victim.node.node_id)
-        pipe.arm_faults(plan)
-        pipe.run(settle=200)
+        pipe = _run_replace_scenario()
         assert_matches_golden(pipe.tracer.of("replace")[0], GOLDEN["replace_bonds"])
+
+
+def _run_replace_scenario():
+    """The deterministic crash-recovery run behind the REPLACE goldens."""
+    from repro.faults import FaultPlan
+
+    env = Environment()
+    pipe = build(env, steps=10, spare=2, fault_tolerance=True,
+                 lease_timeout=5.0, heartbeat_interval=1.0)
+    victim = pipe.containers["bonds"].replicas[1]
+    plan = FaultPlan(seed=1)
+    plan.node_crash(30.0, victim.node.node_id)
+    pipe.arm_faults(plan)
+    pipe.run(settle=200)
+    return pipe
+
+
+def _engine_ladder(pipe):
+    """Engine-level trace summary of every protocol the run executed."""
+    return [
+        {
+            "protocol": t.protocol,
+            "subject": t.subject,
+            "status": t.status,
+            "abort_reason": t.abort_reason,
+            "compensated": list(t.compensated),
+            "rounds": [[r.name, r.status, r.messages] for r in t.rounds],
+            "total": t.total,
+        }
+        for t in pipe.control_trace.records
+    ]
+
+
+class TestRecoveryLadderGolden:
+    """The full REPLACE recovery ladder — GM_REPLACE driving REPLACE — as
+    seen by the control-plane engine, pinned round-for-round."""
+
+    def test_ladder_matches_golden(self):
+        pipe = _run_replace_scenario()
+        ladder = _engine_ladder(pipe)
+        golden = GOLDEN["replace_ladder_engine"]
+        assert len(ladder) == len(golden)
+        for got, want in zip(ladder, golden):
+            assert got["protocol"] == want["protocol"]
+            assert got["subject"] == want["subject"]
+            assert got["status"] == want["status"]
+            assert got["abort_reason"] == want["abort_reason"]
+            assert got["compensated"] == want["compensated"]
+            assert got["rounds"] == want["rounds"]
+            assert got["total"] == pytest.approx(want["total"], rel=0.25)
+
+    def test_identical_across_three_default_runs(self):
+        """The default tie-breaker is deterministic: three fresh runs of the
+        recovery scenario must produce byte-identical ladders and delivery
+        records — the anchor the seeded-shuffle exploration deviates from."""
+        ladders, exits = [], []
+        for _ in range(3):
+            pipe = _run_replace_scenario()
+            ladders.append(_engine_ladder(pipe))
+            exits.append(list(pipe.end_to_end))
+        assert ladders[0] == ladders[1] == ladders[2]
+        assert exits[0] == exits[1] == exits[2]
 
 
 class TestD2TGolden:
