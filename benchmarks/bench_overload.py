@@ -1,0 +1,160 @@
+"""Overload bench: burst saturation + brownout ladder on tight staging buffers.
+
+A seeded burst/ramp slowdown (see
+:func:`repro.overload.scenario.overload_burst_plan`) saturates the analysis
+stages of a small-buffered Figure-7 configuration while the overload
+machinery is live: credit-based backpressure raises the LAMMPS driver's
+output stride as staging headroom vanishes, the SLA brownout ladder
+escalates (increase -> steal -> stride -> offline) and later unwinds every
+rung with hysteresis, and the shed ledger attributes every undelivered
+timestep to exactly one shed decision.  The run must finish inside the SLA
+horizon, fully restore (driver stride back to 1, no pruned containers left
+offline), and account for every emitted timestep.  The same seed is run
+twice and the delivery/degradation records must be identical.
+
+Emits ``BENCH_overload.json`` at the repo root via the shared perf-report
+machinery (same schema as ``BENCH_kernels.json``): SLA compliance, shed
+fraction, time in degraded mode, and recovery dwell, plus every
+``overload.*`` / ``datatap.*`` counter the run accumulated.
+
+Smoke mode for CI: ``BENCH_SMOKE=1`` shrinks the run to 12 timesteps.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_overload.py``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.experiments.figures import run_overload
+from repro.perf.registry import REGISTRY
+from repro.perf.report import write_kernel_report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+STEPS = 12 if SMOKE else 24
+SEED = 7
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_overload.json"
+
+
+def overload_metrics(result):
+    """Sanity-check one overload experiment result and pull the headlines."""
+    managed = result["managed"]
+    assert managed["finished"], "managed overload run did not finish"
+    assert managed["fully_restored"], "brownout ladder never fully unwound"
+    assert managed["final_stride"] == 1, managed["final_stride"]
+    assert not managed["offline_containers"], managed["offline_containers"]
+    assert not managed["unaccounted_steps"], (
+        f"timesteps with no fate: {managed['unaccounted_steps']}"
+    )
+    baseline = result.get("unmanaged")
+    if baseline is not None:
+        assert not baseline["finished"], (
+            "unmanaged baseline finished inside the SLA horizon — "
+            "the burst no longer wedges the producer"
+        )
+    ladder_kinds = {s["action"] for s in managed["degradation_steps"]
+                    if s["kind"] == "brownout"}
+    assert ladder_kinds & {"steal", "stride", "offline", "increase"}, ladder_kinds
+    assert any(a.startswith("undo_") for a in ladder_kinds), ladder_kinds
+    return {
+        "sla_compliance_pct": managed["sla_compliance_pct"],
+        "shed_fraction": managed["shed_fraction"],
+        "time_in_degraded_s": managed["time_in_degraded_s"],
+        "recovery_dwell_s": managed["recovery_dwell_s"] or 0.0,
+        "delivered_steps": managed["delivered_steps"],
+        "shed_steps": managed["shed_steps"],
+        "degradation_transitions": len(managed["degradation_steps"]),
+        "baseline_blocked_s": (
+            baseline["blocked_seconds"] if baseline is not None else 0.0
+        ),
+        "shed_by_reason": managed["shed_by_reason"],
+    }
+
+
+def run_suite():
+    """Overload run + replay-identity run; returns (metrics, identity_blob)."""
+    result = run_overload(seed=SEED, steps=STEPS)
+    assert result["ok"], "overload experiment reported not-ok"
+    metrics = overload_metrics(result)
+
+    # Replay: the identical seed must reproduce the identical degradation
+    # ladder and delivery/shed accounting.
+    result2 = run_overload(seed=SEED, steps=STEPS, include_baseline=False)
+    identity = {
+        "steps_a": result["managed"]["degradation_steps"],
+        "steps_b": result2["managed"]["degradation_steps"],
+        "shed_a": result["managed"]["shed_by_reason"],
+        "shed_b": result2["managed"]["shed_by_reason"],
+    }
+    assert identity["steps_a"] == identity["steps_b"], "degradation trace diverged"
+    assert identity["shed_a"] == identity["shed_b"], "shed accounting diverged"
+    return metrics, identity
+
+
+def emit_report(metrics):
+    perf = REGISTRY.snapshot()
+    overload_counters = {
+        k: v for k, v in perf["counters"].items()
+        if k.split(".")[0] in ("overload", "datatap", "pipeline")
+    }
+    results = {
+        "overload.sla_compliance_pct": metrics["sla_compliance_pct"],
+        "overload.shed_fraction": metrics["shed_fraction"],
+        "overload.time_in_degraded_s": metrics["time_in_degraded_s"],
+        "overload.recovery_dwell_s": metrics["recovery_dwell_s"],
+    }
+    doc = write_kernel_report(
+        REPORT_PATH,
+        results,
+        counters={
+            **overload_counters,
+            "overload.delivered_steps": metrics["delivered_steps"],
+            "overload.shed_steps": metrics["shed_steps"],
+            "overload.degradation_transitions": metrics["degradation_transitions"],
+        },
+        meta={
+            "bench": "bench_overload",
+            "smoke": SMOKE,
+            "seed": SEED,
+            "steps": STEPS,
+            "shed_by_reason": metrics["shed_by_reason"],
+            "baseline_blocked_s": round(metrics["baseline_blocked_s"], 1),
+            "scenario": "fig7 mix, tight buffers, seeded burst/ramp slowdown",
+        },
+    )
+    return doc
+
+
+def test_overload_brownout(benchmark):
+    from conftest import print_table
+
+    metrics, identity = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    doc = emit_report(metrics)
+    benchmark.extra_info.update(
+        {
+            "report": str(REPORT_PATH),
+            "sla_compliance_pct": metrics["sla_compliance_pct"],
+            "shed_fraction": metrics["shed_fraction"],
+        }
+    )
+    print_table(
+        "Overload / brownout metrics",
+        ["Metric", "Value"],
+        [[k, f"{v:.3f}" if isinstance(v, float) else str(v)]
+         for k, v in sorted(metrics.items())],
+    )
+    assert identity["steps_a"] == identity["steps_b"]
+
+
+def main():
+    metrics, _ = run_suite()
+    emit_report(metrics)
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, float):
+            print(f"{name:28s} {value:12.3f}")
+        else:
+            print(f"{name:28s} {value!s:>12}")
+    print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -112,6 +112,9 @@ class Container:
         #: (the paper's "add hashes of the data to the output")
         self.hashing = False
         self.skipped = 0
+        #: pipeline-wide :class:`~repro.overload.shed.ShedLedger`, if shed
+        #: accounting is wired (None keeps drops unaccounted, as before)
+        self.shed_ledger = None
         self.latency = LatencyWindow(maxlen=8)
         self.completions = 0
         #: samples of (time, total queued chunks) for overflow prediction

@@ -32,7 +32,7 @@ from repro.containers.protocol import ProtocolTracer
 from repro.controlplane import ControlPlaneEngine, ProtocolAbort, protocols
 from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
-from repro.monitoring.metrics import Telemetry
+from repro.monitoring.metrics import LatencyWindow, Telemetry
 
 
 class GlobalManager:
@@ -79,6 +79,8 @@ class GlobalManager:
         self.control_lock = Resource(env, capacity=1)
         #: attached RecoveryManager, if fault tolerance is enabled
         self.recovery = None
+        #: pipeline-wide shed ledger, when shed accounting is wired
+        self.shed_ledger = None
         self._recv_proc = env.process(self._recv_loop(), name="gm-recv")
         self._control_proc = env.process(self._control_loop(), name="gm-control")
         self._stopped = False
@@ -359,6 +361,13 @@ class GlobalManager:
                 continue
             for writer in pruned.input_link.writers:
                 for chunk in writer.drain_buffer():
+                    # An accounted drop: the prune, not silence, owns this
+                    # timestep (suppressed if it already exited downstream).
+                    if self.shed_ledger is not None:
+                        self.shed_ledger.record(
+                            chunk.timestep, cname, "offline_prune",
+                            self.env.now, chunk_id=chunk.chunk_id,
+                        )
                     if pruned.sink_fs is not None:
                         yield pruned.sink_fs.write(
                             writer.node,
@@ -406,18 +415,26 @@ class GlobalManager:
         self.actions_taken.append(f"hashing {name} {'on' if enabled else 'off'}")
         return reply.mtype is MessageType.ACK
 
-    def activate(self, name: str):
-        """Process: bring a standby container online (the dynamic branch).
+    def activate(self, name: str, units: Optional[int] = None):
+        """Process: bring a standby container online (the dynamic branch),
+        or re-activate an offline one (the brownout ladder's de-escalation).
 
         Used when CSym detects a broken bond: CNA "start[s] reading data
         from Bonds".  The standby container already holds nodes; activation
-        spawns its replicas and wires them into the upstream link.
+        spawns its replicas and wires them into the upstream link.  For an
+        *offline* container ``units`` sizes the rebuild (capped by the
+        spare pool; defaults to 1).
         """
-        return self.env.process(self._activate(name), name=f"gm-activate:{name}")
+        return self.env.process(self._activate(name, units=units),
+                                name=f"gm-activate:{name}")
 
-    def _activate(self, name: str, nodes: Optional[List[Node]] = None):
+    def _activate(self, name: str, nodes: Optional[List[Node]] = None,
+                  units: Optional[int] = None):
         manager = self._manager(name)
         container = manager.container
+        if container.offline:
+            result = yield from self._reactivate(manager, units)
+            return result
         if container.active:
             yield self.env.timeout(0)
             return container.units
@@ -431,6 +448,65 @@ class GlobalManager:
             self.node, self.endpoint, manager.endpoint.name, request
         )
         self.actions_taken.append(f"activate {name}")
+        return reply.payload["units"]
+
+    def _reactivate(self, manager: LocalManager, units: Optional[int]):
+        """Rebuild a pruned container from the spare pool.
+
+        The reverse of the offline cascade: flush (as accounted sheds)
+        whatever piled up in the still-paused upstream writers while the
+        stage was down, reset the link's flow-control state, respawn
+        replicas through the regular INCREASE protocol, and resume the
+        writers so new timesteps flow again.
+        """
+        container = manager.container
+        name = container.name
+        container.offline = False
+        if container.input_link is not None:
+            for writer in list(container.input_link.writers):
+                for chunk in writer.drain_buffer():
+                    recorded = True
+                    if self.shed_ledger is not None:
+                        recorded = self.shed_ledger.record(
+                            chunk.timestep, name, "offline_prune",
+                            self.env.now, chunk_id=chunk.chunk_id,
+                        )
+                    # A suppressed record means the timestep already exited
+                    # the pipeline; flushing it again would double-write.
+                    if recorded and container.sink_fs is not None:
+                        yield container.sink_fs.write(
+                            writer.node,
+                            f"{writer.name}.flush.ts{chunk.timestep:06d}.bp",
+                            chunk.nbytes,
+                            {
+                                "provenance": list(chunk.provenance),
+                                "timestep": chunk.timestep,
+                                "incomplete_pipeline": True,
+                            },
+                        )
+            if container.input_link.credits is not None:
+                # The credits described a downstream that no longer exists.
+                container.input_link.credits.reset()
+        count = min(units if units else 1, self.scheduler.free_nodes)
+        if count <= 0:
+            container.offline = True
+            return 0
+        job = self.scheduler.allocate(count, name=f"react:{name}")
+        request = Message(
+            MessageType.INCREASE_REQUEST, sender="global-mgr",
+            payload={"nodes": job.nodes},
+        )
+        reply = yield self.messenger.request(
+            self.node, self.endpoint, manager.endpoint.name, request
+        )
+        if container.input_link is not None:
+            yield container.input_link.resume_writers()
+        # Fresh latency state: the stale pre-offline window must not trip
+        # an immediate re-escalation.
+        container.latency = LatencyWindow(maxlen=8)
+        self._reports.pop(name, None)
+        self.actions_taken.append(f"reactivate {name} +{count}")
+        self.telemetry.mark(self.env.now, f"reactivate {name}")
         return reply.payload["units"]
 
     def retire(self, name: str):

@@ -510,6 +510,13 @@ class LocalManager:
             if replica.current_chunk is not None:
                 stranded_chunks.append(replica.current_chunk)
             for chunk in stranded_chunks:
+                # Pulled-but-unprocessed work dies with the stage: account
+                # the drop before the disk strand.
+                if container.shed_ledger is not None:
+                    container.shed_ledger.record(
+                        chunk.timestep, container.name, "offline_prune",
+                        self.env.now, chunk_id=chunk.chunk_id,
+                    )
                 if container.sink_fs is not None:
                     yield container.sink_fs.write(
                         replica.node,

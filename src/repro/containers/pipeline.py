@@ -105,6 +105,17 @@ class Pipeline:
         self.fault_injector = None
         self.branch_fired = False
         self.end_to_end: List[tuple] = []  # (exit_time, timestep, latency)
+        #: overload accounting: every deliberate drop is a ShedRecord, and
+        #: records for already-delivered timesteps are suppressed
+        self._exited_steps: set = set()
+        from repro.overload import DegradationTrace, ShedLedger
+
+        self.shed_ledger = ShedLedger(is_delivered=self._exited_steps.__contains__)
+        #: structured record of every degradation/restoration transition
+        self.degradation = DegradationTrace()
+        #: overload controllers, attached by the builder when enabled
+        self.backpressure = None
+        self.brownout = None
 
     def run(self, settle: float = 60.0, deadline: Optional[float] = None) -> bool:
         """Run until the driver finishes (plus ``settle`` seconds of drain).
@@ -133,6 +144,10 @@ class Pipeline:
                 self.global_manager.stop()
             if self.monitoring_overlay is not None:
                 self.monitoring_overlay.stop()
+            if self.backpressure is not None:
+                self.backpressure.stop()
+            if self.brownout is not None:
+                self.brownout.stop()
         return finished
 
     def node_census(self) -> dict:
@@ -174,6 +189,7 @@ class Pipeline:
     def record_exit(self, chunk) -> None:
         latency = self.env.now - chunk.created_at
         PERF.count("pipeline.exits")
+        self._exited_steps.add(chunk.timestep)
         self.end_to_end.append((self.env.now, chunk.timestep, latency))
         self.telemetry.record("pipeline", "end_to_end", self.env.now, latency)
         self.telemetry.record("pipeline", "end_to_end_by_step", chunk.timestep, latency)
@@ -353,6 +369,8 @@ class PipelineBuilder:
         heartbeat_interval: float = 1.0,
         lease_timeout: float = 5.0,
         manager_lease_timeout: Optional[float] = None,
+        backpressure=False,
+        brownout=False,
     ):
         self.env = env
         self.workload = workload
@@ -392,6 +410,10 @@ class PipelineBuilder:
             if manager_lease_timeout is not None
             else 4.0 * monitor_interval
         )
+        #: overload subsystems: False = off (byte-identical legacy paths),
+        #: True = defaults, or a dict of config overrides for the controller
+        self.backpressure = backpressure
+        self.brownout = brownout
 
     def build(self) -> Pipeline:
         env = self.env
@@ -585,6 +607,37 @@ class PipelineBuilder:
         # end-to-end latency, and the CSym crack branch.
         for name, container in pipe.containers.items():
             container.on_complete = pipe.make_on_complete(name)
+
+        # Shed accounting is always wired (recording is pure bookkeeping —
+        # a run that never sheds is unchanged); the controllers that *cause*
+        # sheds are strictly opt-in below.
+        for container in pipe.containers.values():
+            container.shed_ledger = pipe.shed_ledger
+        gm.shed_ledger = pipe.shed_ledger
+        driver.on_shed = lambda step: pipe.shed_ledger.record(
+            step, "lammps", "backpressure_stride", env.now
+        )
+
+        if self.backpressure:
+            from repro.overload import BackpressureController, LinkCredits
+
+            for link in links.values():
+                link.credits = LinkCredits(env, link)
+            bp_kwargs = self.backpressure if isinstance(self.backpressure, dict) else {}
+            pipe.backpressure = BackpressureController(
+                env, pipe, degradation=pipe.degradation, **bp_kwargs
+            )
+        if self.brownout:
+            from repro.overload import BrownoutConfig, BrownoutController, NullPolicy
+
+            # The ladder owns remediation; the legacy policy loop would
+            # fight it (and its offline decisions are permanent).
+            gm.policy = NullPolicy()
+            bo_kwargs = self.brownout if isinstance(self.brownout, dict) else {}
+            pipe.brownout = BrownoutController(
+                env, gm, config=BrownoutConfig(**bo_kwargs),
+                degradation=pipe.degradation,
+            )
 
         # Monitoring transport: direct manager-to-manager messages (default)
         # or a windowed aggregation overlay (Section III-E) whose root sits

@@ -225,6 +225,41 @@ GM_REPLACE = ProtocolSpec(
 
 
 # ---------------------------------------------------------------------------
+# Overload: the SLA brownout ladder (escalate / de-escalate with hysteresis)
+# ---------------------------------------------------------------------------
+
+#: BROWNOUT_ESCALATE: pick the next rung of the degradation ladder for the
+#: worst over-SLA container (increase -> steal -> stride -> offline), apply
+#: it through the regular GM operations, and record the transition in the
+#: DegradationTrace.  No applicable rung exits early; a failed action
+#: aborts without recording a level change.
+BROWNOUT_ESCALATE = ProtocolSpec(
+    "brownout_escalate",
+    rounds=(
+        Round("observe", handler=lambda ctx: ctx["bc"]._esc_observe(ctx)),
+        Round("act", handler=lambda ctx: ctx["bc"]._esc_act(ctx)),
+        Round("record", enter_label="brownout: ladder level raised",
+              handler=lambda ctx: ctx["bc"]._esc_record(ctx)),
+    ),
+)
+
+
+#: BROWNOUT_RECOVER: after latency has held below the SLA for the dwell,
+#: unwind the most recent rung — restore the stride, or re-activate the
+#: pruned containers upstream-first via activate() (new versus the paper,
+#: whose offline decision is manual and permanent).
+BROWNOUT_RECOVER = ProtocolSpec(
+    "brownout_recover",
+    rounds=(
+        Round("observe", handler=lambda ctx: ctx["bc"]._rec_observe(ctx)),
+        Round("act", handler=lambda ctx: ctx["bc"]._rec_act(ctx)),
+        Round("record", enter_label="brownout: ladder level lowered",
+              handler=lambda ctx: ctx["bc"]._rec_record(ctx)),
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
 # Transactions (D2T, Figure 6)
 # ---------------------------------------------------------------------------
 

@@ -14,6 +14,7 @@ from repro.simkernel import Environment, Event
 from repro.simkernel.errors import SimulationError
 from repro.cluster.node import Node
 from repro.data import DataChunk
+from repro.perf.registry import REGISTRY
 
 
 class BufferFull(SimulationError):
@@ -90,6 +91,9 @@ class StagingBuffer:
         self._used += chunk.nbytes
         self.high_water_bytes = max(self.high_water_bytes, self._used)
         self.inserts += 1
+        REGISTRY.count("datatap.buffer_inserts")
+        # The timer's max across all buffers is the fleet high-water mark.
+        REGISTRY.record_duration("datatap.buffer_occupancy", self.occupancy)
         return True
 
     def insert(self, chunk: DataChunk):
@@ -118,6 +122,7 @@ class StagingBuffer:
         self._used -= chunk.nbytes
         self.node.free_memory(chunk.nbytes)
         self.evictions += 1
+        REGISTRY.count("datatap.buffer_evictions")
         waiters, self._space_waiters = self._space_waiters, []
         for waiter in waiters:
             waiter.succeed()

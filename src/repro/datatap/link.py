@@ -39,6 +39,10 @@ class DataTapLink:
         #: chunk_ids that have completed a pull on this link — the dedup set
         #: making redelivery after a reader crash idempotent
         self.delivered = set()
+        #: optional :class:`~repro.overload.credits.LinkCredits` window
+        #: gating metadata dispatch; None (the default) disables flow
+        #: control and keeps the dispatch path byte-identical
+        self.credits = None
         #: monitoring
         self.redispatched = 0
         self.dup_dropped = 0
@@ -86,6 +90,8 @@ class DataTapLink:
                 continue  # writer itself was torn down (crash recovery)
             if not writer.needs_delivery(meta.payload["chunk_id"]):
                 continue  # pull completed despite the teardown; nothing to do
+            # Re-dispatch bypasses any credit window: the original dispatch
+            # already holds the chunk's credit, released at pull completion.
             self.redispatched += 1
             target = self.readers[self._rr % len(self.readers)]
             self._rr += 1
@@ -112,6 +118,8 @@ class DataTapLink:
         self.writers.remove(writer)
         del self._writers_by_name[writer.name]
         writer.link = None
+        if self.credits is not None:
+            self.credits.forget_writer(writer.name)
 
     # -- routing ---------------------------------------------------------------------
 

@@ -93,6 +93,7 @@ class DataTapReader:
             # Writer torn down (e.g. its node crashed and was replaced)
             # after this metadata was pushed; the chunk is unreachable.
             REGISTRY.count("datatap.orphaned_meta")
+            self._release_credit(info["chunk_id"])
             yield self.env.timeout(0)
             return
         # Back-pressure: claim queue space *before* moving any data.
@@ -100,6 +101,7 @@ class DataTapReader:
             # Already pulled — through a re-dispatched or redelivered copy of
             # this metadata.  Idempotent redelivery: drop the duplicate.
             self._drop_duplicate()
+            self._release_credit(info["chunk_id"])
             yield self.env.timeout(0)
             return
         res_event = self.out_queue.reserve()
@@ -117,8 +119,11 @@ class DataTapReader:
                 # Unrecoverable transfer faults (writer node dead): give up.
                 self.out_queue.cancel_reservation(res_event)
                 REGISTRY.count("datatap.pull_failed")
+                self._release_credit(info["chunk_id"])
                 return
         except Interrupt:
+            # Teardown cancel: the metadata is handed back for re-dispatch,
+            # so the chunk KEEPS its credit — the eventual pull releases it.
             self.out_queue.cancel_reservation(res_event)
             self.cancelled_meta.append(meta)
             return
@@ -128,6 +133,7 @@ class DataTapReader:
             # A concurrent pull of the same chunk won the race.
             self.out_queue.cancel_reservation(res_event)
             self._drop_duplicate()
+            self._release_credit(info["chunk_id"])
             return
         chunk = writer.buffer.get(info["chunk_id"])
         chunk.sources = [(writer.name, info["chunk_id"])]
@@ -139,6 +145,12 @@ class DataTapReader:
         self.chunks_pulled += 1
         self.bytes_pulled += info["nbytes"]
         self.out_queue.fulfill(res_event, chunk)
+        self._release_credit(info["chunk_id"])
+
+    def _release_credit(self, chunk_id: int) -> None:
+        """Return the chunk's flow-control credit at a terminal pull outcome."""
+        if self.link is not None and self.link.credits is not None:
+            self.link.credits.release(chunk_id)
 
     def _pull_with_retry(self, writer, info):
         """RDMA-GET with exponential backoff; False when retries exhaust."""

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.simkernel import Environment, Resource
 from repro.simkernel.errors import SimulationError
+from repro.perf.registry import REGISTRY
 
 
 class PullScheduler:
@@ -91,7 +92,10 @@ class PullScheduler:
         request = self._tokens.request()
         yield request
         self.pulls_admitted += 1
-        self.total_wait += self.env.now - start
+        wait = self.env.now - start
+        self.total_wait += wait
+        REGISTRY.count("datatap.pulls_admitted")
+        REGISTRY.record_duration("datatap.pull_admit_wait", wait)
         return request
 
     def release(self, token) -> None:

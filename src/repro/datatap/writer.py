@@ -122,9 +122,25 @@ class DataTapWriter:
         if self._paused:
             self._pending_meta.append(chunk)
         else:
-            # Fire-and-forget metadata push; the writer does not wait.
-            self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+            self._dispatch_metadata(chunk)
         return chunk
+
+    def _dispatch_metadata(self, chunk: DataChunk) -> None:
+        """Push metadata, subject to the link's credit window (if any).
+
+        Without credits this is the historical fire-and-forget push; with
+        credits a dispatch beyond the window is deferred (the chunk stays
+        in the buffer) until a downstream completion returns a credit.
+        """
+        credits = self.link.credits if self.link is not None else None
+        if credits is not None and not credits.try_acquire(self.name, chunk.chunk_id):
+            credits.defer(self, chunk)
+            return
+        self.spawn_metadata_push(chunk)
+
+    def spawn_metadata_push(self, chunk: DataChunk) -> None:
+        """Fire-and-forget metadata push; the writer does not wait."""
+        self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
 
     def _push_metadata(self, chunk: DataChunk):
         reader_name = self.link.next_reader_for(self)
@@ -238,7 +254,11 @@ class DataTapWriter:
                 if chunk not in self._pending_meta:
                     self._pending_meta.append(chunk)
             else:
-                self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+                # Recovery traffic bypasses the credit gate: the chunk's
+                # original dispatch already consumed a credit (or its holder
+                # died), and throttling redelivery would couple fault
+                # handling to flow control.
+                self.spawn_metadata_push(chunk)
         return count
 
     def drain_buffer(self) -> List[DataChunk]:
@@ -292,7 +312,7 @@ class DataTapWriter:
             # (for retaining writers "in the buffer" is not enough — a pulled
             # chunk is merely in custody and must not be pushed again).
             if chunk.chunk_id in self.buffer and chunk.chunk_id not in self._pulled:
-                self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+                self._dispatch_metadata(chunk)
         yield self.env.timeout(0)
         return True
 

@@ -127,9 +127,62 @@ class ExactlyOnceDelivery(Invariant):
             problems.append(f"timesteps delivered more than once: {dupes}")
         if final and self._finished and pipe.driver is not None:
             expected = pipe.driver.workload.total_steps
-            if len(set(exits)) != expected:
+            ledger = getattr(pipe, "shed_ledger", None)
+            shed = ledger.steps() if ledger is not None else set()
+            missing = set(range(expected)) - set(exits) - shed
+            if missing:
                 problems.append(
-                    f"{len(set(exits))} distinct timesteps exited, expected {expected}"
+                    f"timesteps neither delivered nor shed: {sorted(missing)[:10]}"
+                    f"{'...' if len(missing) > 10 else ''}"
+                )
+        return problems
+
+
+@register
+class ShedAccounting(Invariant):
+    """Under overload, exactly-once generalizes to exactly-one-fate: every
+    emitted timestep is either delivered end-to-end or attributed to
+    exactly one shed decision — never both, never neither, never two
+    distinct decisions.
+
+    The :class:`~repro.overload.shed.ShedLedger` records each decision
+    (backpressure stride skip, container stride skip, offline prune); its
+    delivery-aware guard suppresses records for already-exited timesteps,
+    so an overlap here means custody accounting broke.
+    """
+
+    name = "shed_accounting"
+
+    def __init__(self):
+        self._finished = False
+
+    def note_finished(self, finished: bool) -> None:
+        self._finished = finished
+
+    def check(self, pipe, final: bool) -> List[str]:
+        ledger = getattr(pipe, "shed_ledger", None)
+        if ledger is None:
+            return []
+        problems: List[str] = []
+        delivered = {step for _, step, _ in pipe.end_to_end}
+        overlap = delivered & ledger.steps()
+        if overlap:
+            problems.append(
+                f"timesteps both delivered and shed: {sorted(overlap)[:10]}"
+            )
+        for step, decisions in ledger.decisions().items():
+            if len(decisions) > 1:
+                problems.append(
+                    f"timestep {step} attributed to multiple shed decisions: "
+                    f"{sorted(decisions)}"
+                )
+        if final and self._finished and pipe.driver is not None:
+            expected = pipe.driver.workload.total_steps
+            missing = set(range(expected)) - delivered - ledger.steps()
+            if missing:
+                problems.append(
+                    f"timesteps with no fate (neither delivered nor shed): "
+                    f"{sorted(missing)[:10]}{'...' if len(missing) > 10 else ''}"
                 )
         return problems
 
@@ -286,7 +339,7 @@ class InvariantMonitor:
 
     def note_finished(self, finished: bool) -> None:
         for checker in self.checkers:
-            if isinstance(checker, ExactlyOnceDelivery):
+            if hasattr(checker, "note_finished"):
                 checker.note_finished(finished)
 
     def finish(self) -> List[Violation]:

@@ -54,6 +54,18 @@ def smoke(env: Environment) -> Pipeline:
     return builder.build()
 
 
+@preset("overload")
+def overload(env: Environment) -> Pipeline:
+    """The overload scenario: tight staging buffers plus backpressure and
+    the brownout ladder, driven against burst/ramp slowdown plans (see
+    :func:`repro.overload.scenario.overload_burst_plan`)."""
+    # local import: repro.overload.scenario imports the pipeline module,
+    # so keep it out of this module's import graph until actually needed
+    from repro.overload.scenario import build_overload_pipeline
+
+    return build_overload_pipeline(env, steps=12, managed=True)
+
+
 @preset("smoke_no_spares")
 def smoke_no_spares(env: Environment) -> Pipeline:
     """Same mix with an empty spare pool: replacement must steal capacity,

@@ -59,6 +59,19 @@ def default_smoke_plan(seed: int, pipe: Pipeline) -> FaultPlan:
     return plan
 
 
+def overload_plan(seed: int, pipe: Pipeline) -> FaultPlan:
+    """The overload schedule: a seeded burst/ramp slowdown (see
+    :func:`repro.overload.scenario.overload_burst_plan`)."""
+    from repro.overload.scenario import overload_burst_plan
+
+    return overload_burst_plan(seed, pipe)
+
+
+def plan_for(preset: str) -> PlanFactory:
+    """The default plan factory for a preset name."""
+    return overload_plan if preset == "overload" else default_smoke_plan
+
+
 @dataclass
 class DSTReport:
     """Everything needed to understand — and replay — one scenario run."""
@@ -152,7 +165,7 @@ class DSTScenario:
             plan_signature=plan.signature() if plan is not None else None,
             plan_events=plan.as_dicts() if plan is not None else [],
             event_log=self._event_log(pipe),
-            repro=repro_command(seed),
+            repro=repro_command(seed, self.preset),
         )
 
     def _drain(self, pipe: Pipeline) -> None:
@@ -166,8 +179,14 @@ class DSTScenario:
         env = pipe.env
         expected = pipe.driver.workload.total_steps
         deadline = env.now + self.drain
+        ledger = getattr(pipe, "shed_ledger", None)
         while env.now < deadline:
-            if len({step for _, step, _ in pipe.end_to_end}) >= expected:
+            # a shed timestep has its fate already — only undecided
+            # timesteps hold the drain open
+            fated = {step for _, step, _ in pipe.end_to_end}
+            if ledger is not None:
+                fated |= ledger.steps()
+            if len(fated) >= expected:
                 return
             env.run(until=min(env.now + 30.0, deadline))
 
@@ -190,10 +209,12 @@ class DSTScenario:
         return log
 
 
-def repro_command(seed: Optional[int]) -> str:
+def repro_command(seed: Optional[int], scenario: str = "smoke") -> str:
     """The one-liner that replays this exact run."""
-    if seed is None:
-        return "PYTHONPATH=src python -m repro.experiments dst --seeds 1"
-    return (
-        f"PYTHONPATH=src python -m repro.experiments dst --seed {seed} --seeds 1"
-    )
+    cmd = "PYTHONPATH=src python -m repro.experiments dst"
+    if seed is not None:
+        cmd += f" --seed {seed}"
+    cmd += " --seeds 1"
+    if scenario != "smoke":
+        cmd += f" --scenario {scenario}"
+    return cmd

@@ -22,6 +22,7 @@ from repro.experiments.figures import (
     run_fig8,
     run_fig9,
     run_fig10,
+    run_overload,
     run_table1,
     run_table2,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "run_fig8",
     "run_fig9",
     "run_fig10",
+    "run_overload",
     "run_table1",
     "run_table2",
 ]

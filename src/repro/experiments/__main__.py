@@ -29,6 +29,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument("--seeds", type=int, default=None,
                         help="number of schedule seeds to sweep (dst experiment)")
+    parser.add_argument("--scenario", default=None,
+                        help="pipeline preset for the dst experiment "
+                             "(smoke, overload, ...)")
     parser.add_argument("--json", metavar="PATH",
                         help="also write all results to a JSON file")
     parser.add_argument("--quiet", action="store_true",
@@ -45,6 +48,8 @@ def main(argv=None) -> int:
     kwargs = {"seed": args.seed}
     if args.seeds is not None:
         kwargs["seeds"] = args.seeds
+    if args.scenario is not None:
+        kwargs["scenario"] = args.scenario
 
     results = {}
     for name in names:

@@ -276,6 +276,91 @@ def run_fig10(seed: int = 1, **_) -> dict:
     }
 
 
+def run_overload(seed: int = 1, steps: int = 24, include_baseline: bool = True,
+                 **_) -> dict:
+    """Overload: a burst slowdown saturates the analysis stages.
+
+    Unmanaged, the producer wedges behind full staging buffers.  Managed,
+    credit-based backpressure raises the driver's output stride, the
+    brownout ladder sheds work under the SLA, and — once the burst passes
+    — hysteresis walks every rung back: stride returns to 1, pruned
+    containers re-activate, and the degradation trace closes.  Every
+    timestep not delivered is attributed to exactly one shed decision.
+    """
+    from repro.overload.scenario import build_overload_pipeline, overload_burst_plan
+
+    def one(managed: bool) -> dict:
+        env = Environment()
+        pipe = build_overload_pipeline(env, steps=steps, seed=seed, managed=managed)
+        # standby stages (cna) start offline by design; only stages pruned
+        # by the ladder and not re-activated count as unrestored
+        initially_offline = {n for n, c in pipe.containers.items() if c.offline}
+        plan = overload_burst_plan(seed, pipe)
+        if plan.events:
+            pipe.arm_faults(plan)
+        wl = pipe.driver.workload
+        # the SLA horizon: a producer still blocked past 2x the nominal
+        # run length has wedged — exactly what backpressure must prevent
+        horizon = 2.0 * wl.total_steps * wl.output_interval
+        finished = pipe.run(settle=600, deadline=horizon)
+        sla = 2.0 * wl.output_interval
+        latencies = [lat for _, _, lat in pipe.end_to_end]
+        delivered = {step for _, step, _ in pipe.end_to_end}
+        ledger = pipe.shed_ledger
+        trace = pipe.degradation
+        return {
+            "finished": finished,
+            "blocked_seconds": pipe.driver.total_blocked_time,
+            "delivered_steps": len(delivered),
+            "shed_steps": len(ledger.steps()),
+            "unaccounted_steps": sorted(
+                set(range(wl.total_steps)) - delivered - ledger.steps()
+            ),
+            "sla_compliance_pct": (
+                100.0 * sum(1 for lat in latencies if lat <= sla) / len(latencies)
+                if latencies else 0.0
+            ),
+            "shed_fraction": ledger.shed_fraction(wl.total_steps),
+            "shed_by_reason": ledger.by_reason(),
+            "time_in_degraded_s": trace.time_in_degraded(env.now),
+            "recovery_dwell_s": trace.recovery_dwell,
+            "fully_restored": trace.fully_restored,
+            "final_stride": pipe.driver.output_stride,
+            "offline_containers": sorted(
+                name for name, c in pipe.containers.items()
+                if c.offline and name not in initially_offline
+            ),
+            "degradation_steps": trace.as_dicts(),
+            "actions": list(pipe.global_manager.actions_taken),
+            "events": _events(pipe),
+            "containers": {
+                name: {
+                    "units": c.units,
+                    "offline": c.offline,
+                    "completions": c.completions,
+                }
+                for name, c in pipe.containers.items()
+            },
+        }
+
+    managed = one(managed=True)
+    result = {"experiment": "overload", "managed": managed}
+    restored = (
+        managed["finished"]
+        and managed["fully_restored"]
+        and managed["final_stride"] == 1
+        and not managed["offline_containers"]
+        and not managed["unaccounted_steps"]
+    )
+    if include_baseline:
+        baseline = one(managed=False)
+        result["unmanaged"] = baseline
+        result["ok"] = restored and not baseline["finished"]
+    else:
+        result["ok"] = restored
+    return result
+
+
 def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke", **_) -> dict:
     """Deterministic simulation testing: sweep schedule seeds over the smoke
     scenario, checking every registered invariant on every interleaving.
@@ -286,8 +371,9 @@ def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke", **_) -> dict
     violation was found (the CLI turns that into a nonzero exit).
     """
     from repro.dst import DSTScenario, explore, shrink
+    from repro.dst.scenario import plan_for
 
-    sc = DSTScenario(name=scenario, preset=scenario)
+    sc = DSTScenario(name=scenario, preset=scenario, plan=plan_for(scenario))
     exploration = explore(sc, range(seed, seed + max(1, seeds)))
     failing = None if exploration.failure is None else exploration.failure.seed
     rows = [
@@ -322,6 +408,7 @@ EXPERIMENTS: Dict[str, callable] = {
     "fig8": run_fig8,
     "fig9": run_fig9,
     "fig10": run_fig10,
+    "overload": run_overload,
     "dst": run_dst,
 }
 

@@ -228,6 +228,59 @@ class FaultPlan:
             )
         return plan
 
+    @classmethod
+    def burst(
+        cls,
+        seed: int,
+        node_ids: Sequence[int],
+        start: float,
+        duration: float,
+        factor: float,
+    ) -> "FaultPlan":
+        """A simultaneous slowdown window across every target node.
+
+        The overload shape: all targets slow by ``factor`` for the same
+        ``[start, start + duration)`` window — a load spike that saturates
+        a stage at once rather than degrading one replica.
+        """
+        if not node_ids:
+            raise ValueError("need at least one target node")
+        if factor <= 1:
+            raise ValueError(f"burst factor is a multiplier > 1, got {factor}")
+        plan = cls(seed=seed)
+        for node_id in sorted(int(n) for n in node_ids):
+            plan.node_slowdown(start, node_id, factor=factor, duration=duration)
+        return plan
+
+    @classmethod
+    def ramp(
+        cls,
+        seed: int,
+        node_ids: Sequence[int],
+        start: float,
+        duration: float,
+        peak_factor: float,
+        rungs: int = 3,
+    ) -> "FaultPlan":
+        """An escalating slowdown: ``rungs`` back-to-back windows of rising
+        severity, peaking at ``peak_factor`` — overload that builds rather
+        than arriving all at once."""
+        if not node_ids:
+            raise ValueError("need at least one target node")
+        if peak_factor <= 1:
+            raise ValueError(f"ramp peak_factor is a multiplier > 1, got {peak_factor}")
+        if rungs < 1:
+            raise ValueError(f"ramp needs at least one rung, got {rungs}")
+        plan = cls(seed=seed)
+        window = duration / rungs
+        for i in range(rungs):
+            factor = 1.0 + (peak_factor - 1.0) * (i + 1) / rungs
+            for node_id in sorted(int(n) for n in node_ids):
+                plan.node_slowdown(
+                    start + i * window, node_id, factor=factor, duration=window
+                )
+        return plan
+
     # -- scripted faults -------------------------------------------------------
 
     def script(self, domain: str, key, behaviour: str) -> None:

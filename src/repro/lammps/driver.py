@@ -16,7 +16,7 @@ off to CNA).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.simkernel import Environment, Event
 from repro.data import DataChunk
@@ -48,6 +48,15 @@ class LammpsDriver:
 
         #: fires when all steps have been emitted
         self.finished = Event(env)
+        #: emit only every k-th output step — the backpressure controller's
+        #: upstream signal: a congested pipeline raises the stride so the
+        #: application sheds output instead of blocking on full buffers
+        self.output_stride = 1
+        #: output steps skipped under a raised stride
+        self.steps_shed = 0
+        #: called with the step number for each stride-skipped step (the
+        #: shed ledger's accounting hook)
+        self.on_shed: Optional[Callable[[int], None]] = None
         #: time the application spent blocked on full staging buffers
         #: (completed waits only; see :attr:`total_blocked_time`)
         self.blocked_time = 0.0
@@ -87,6 +96,13 @@ class LammpsDriver:
             # Compute phase between outputs.
             yield self.env.timeout(wl.output_interval)
 
+            if self.output_stride > 1 and step % self.output_stride != 0:
+                # Backpressure stride in effect: the step's output is shed
+                # at the source (computation continues; only I/O is skipped).
+                self.steps_shed += 1
+                if self.on_shed is not None:
+                    self.on_shed(step)
+                continue
             cracked = self.crack_step is not None and step >= self.crack_step
             if self.pull_scheduler is not None:
                 self.pull_scheduler.output_phase_begin()

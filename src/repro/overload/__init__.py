@@ -1,0 +1,42 @@
+"""Overload robustness: backpressure, the brownout ladder, accounted shedding.
+
+The three mechanisms of this package close the loop the paper's global
+manager leaves open under sustained overload:
+
+* :mod:`repro.overload.credits` + :mod:`repro.overload.backpressure` —
+  credit-based flow control on DataTap links, sized from downstream
+  headroom and propagated hop-by-hop until the LAMMPS driver feels it as
+  an output stride instead of an unbounded block;
+* :mod:`repro.overload.brownout` — the SLA brownout ladder (increase →
+  steal → stride → offline) as control-plane protocols, de-escalating
+  with hysteresis once latency holds below the SLA;
+* :mod:`repro.overload.shed` — every dropped timestep becomes an
+  explicit, invariant-checked :class:`ShedRecord`.
+
+All of it is off by default; an unconfigured pipeline is byte-identical
+to one built before this package existed.
+"""
+
+from repro.overload.backpressure import BackpressureController
+from repro.overload.brownout import (
+    BrownoutConfig,
+    BrownoutController,
+    DegradationStep,
+    DegradationTrace,
+    NullPolicy,
+)
+from repro.overload.credits import LinkCredits
+from repro.overload.shed import SHED_REASONS, ShedLedger, ShedRecord
+
+__all__ = [
+    "BackpressureController",
+    "BrownoutConfig",
+    "BrownoutController",
+    "DegradationStep",
+    "DegradationTrace",
+    "LinkCredits",
+    "NullPolicy",
+    "SHED_REASONS",
+    "ShedLedger",
+    "ShedRecord",
+]

@@ -1,0 +1,177 @@
+"""End-to-end backpressure: credit sizing plus the driver stride signal.
+
+The :class:`BackpressureController` closes the flow-control loop the
+:class:`~repro.overload.credits.LinkCredits` gate exposes.  On a short
+period it
+
+* **sizes every link's credit window from downstream headroom** — free
+  consumer queue slots (capacity minus occupied minus reserved) scaled by
+  the consumer's *own* output-buffer occupancy.  A congested consumer
+  therefore shrinks its input window even while its queue drains, which
+  is what carries pressure upstream hop-by-hop: CNA congests, the
+  Bonds->CNA window shrinks, Bonds' writer buffers fill, the
+  Helper->Bonds window shrinks in turn, until the simulation's own
+  staging buffers feel it; and
+
+* **turns producer-side pressure into an output stride** — when the
+  LAMMPS writers' staging buffers pass the high-water fraction the
+  driver's ``output_stride`` doubles (each skipped step an accounted
+  shed, never a silent drop), and once the buffers have stayed calm with
+  no deferred dispatches for a dwell of controller ticks the stride
+  halves back toward 1.
+
+The driver thus experiences overload as *increased output stride rather
+than an unbounded block* — the failure mode the paper's offline decision
+exists to pre-empt — and every stride transition lands in the shared
+:class:`~repro.overload.brownout.DegradationTrace`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simkernel import Interrupt
+from repro.perf.registry import REGISTRY
+from repro.overload.brownout import DegradationTrace
+
+
+class BackpressureController:
+    """Periodic credit-window sizing and driver-stride adaptation."""
+
+    def __init__(
+        self,
+        env,
+        pipe,
+        interval: float = 5.0,
+        hi: float = 0.8,
+        lo: float = 0.3,
+        max_stride: int = 8,
+        dwell_ticks: int = 2,
+        min_window: int = 1,
+        degradation: Optional[DegradationTrace] = None,
+    ):
+        if not 0.0 <= lo < hi <= 1.0:
+            raise ValueError(f"need 0 <= lo < hi <= 1, got lo={lo} hi={hi}")
+        self.env = env
+        self.pipe = pipe
+        self.interval = interval
+        self.hi = hi
+        self.lo = lo
+        self.max_stride = max_stride
+        self.dwell_ticks = dwell_ticks
+        self.min_window = min_window
+        self.trace = (
+            degradation if degradation is not None
+            else getattr(pipe, "degradation", None) or DegradationTrace()
+        )
+        self._calm_ticks = 0
+        self._stopped = False
+        self._proc = env.process(self._run(), name="backpressure")
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    # -- the control loop ----------------------------------------------------------
+
+    def _run(self):
+        while True:
+            try:
+                yield self.env.timeout(self.interval)
+            except Interrupt:
+                return
+            if self._stopped:
+                return
+            self._resize_windows()
+            self._adapt_stride()
+
+    # -- credit-window sizing ------------------------------------------------------
+
+    def _resize_windows(self) -> None:
+        telemetry = self.pipe.telemetry
+        now = self.env.now
+        for container in self.pipe.containers.values():
+            link = container.input_link
+            if link is None or link.credits is None:
+                continue
+            credits = link.credits
+            credits.resize(self._window_for(link, container))
+            telemetry.record(
+                "overload", f"credit_window.{link.name}", now, credits.window
+            )
+            telemetry.record(
+                "overload", f"credit_pressure.{link.name}", now, credits.pressure
+            )
+            telemetry.record(
+                "overload", f"deferred.{link.name}", now, credits.backlog
+            )
+
+    def _window_for(self, link, consumer) -> int:
+        """Credit window from the consumer's admission headroom.
+
+        Free queue slots measure how much the consumer can *accept*;
+        scaling by its own output-buffer occupancy measures how much it
+        can afford to — a consumer that cannot hand work downstream must
+        not keep admitting it, which is the hop-by-hop propagation.
+        """
+        if consumer.offline or not consumer.active:
+            return self.min_window
+        replicas = [
+            r for r in consumer.replicas
+            if not r.passive and not r.retired and r.queue is not None
+        ]
+        if not replicas:
+            return self.min_window
+        free = sum(
+            max(0, r.queue.capacity - r.queue.size - r.queue.reserved)
+            for r in replicas
+        )
+        occ = max(
+            (w.buffer.occupancy for r in replicas for w in r.writers.values()),
+            default=0.0,
+        )
+        # One credit of slack per producer keeps a drained pipeline primed.
+        slack = len(link.writers)
+        return max(self.min_window, int((free + slack) * (1.0 - occ)))
+
+    # -- driver output stride ------------------------------------------------------
+
+    def _adapt_stride(self) -> None:
+        driver = self.pipe.driver
+        if driver is None or not driver.writers:
+            return
+        occupancy = max(w.buffer.occupancy for w in driver.writers)
+        self.pipe.telemetry.record(
+            "overload", "sim_buffer_occupancy", self.env.now, occupancy
+        )
+        first_link = driver.writers[0].link
+        backlog = (
+            first_link.credits.backlog
+            if first_link is not None and first_link.credits is not None
+            else 0
+        )
+        stride = driver.output_stride
+        if occupancy >= self.hi:
+            self._calm_ticks = 0
+            if stride < self.max_stride:
+                self._set_stride(driver, stride * 2, "stride_up", occupancy)
+        elif occupancy <= self.lo and backlog == 0:
+            self._calm_ticks += 1
+            if self._calm_ticks >= self.dwell_ticks and stride > 1:
+                self._set_stride(driver, stride // 2, "stride_down", occupancy)
+                self._calm_ticks = 0
+        else:
+            self._calm_ticks = 0
+
+    def _set_stride(self, driver, stride: int, action: str, occupancy: float) -> None:
+        driver.output_stride = stride
+        level = stride.bit_length() - 1  # 1 -> 0, 2 -> 1, 4 -> 2, 8 -> 3
+        self.trace.record(
+            self.env.now, "backpressure", action, level,
+            stride=stride, occupancy=round(occupancy, 3),
+        )
+        REGISTRY.count(f"overload.{action}")
+        self.pipe.telemetry.mark(
+            self.env.now, f"backpressure {action}: output 1/{stride}"
+        )

@@ -1,0 +1,102 @@
+"""The burst-overload scenario: the wedge the overload subsystems prevent.
+
+``build_overload_pipeline`` wires the Figure-7 stage mix with *tight*
+staging buffers — a couple of timesteps of headroom at the simulation
+writers, a few at each stage — so a sustained slowdown burst in the
+analysis stages fills the buffers and, without flow control, blocks the
+producer indefinitely (the ``StagingBuffer``-full, reader-stalled wedge
+of Figure 9).  With ``managed=True`` the credit/backpressure/brownout
+subsystems are on and the same burst degrades instead: the driver's
+output stride rises, the brownout ladder reshapes the staging area, and
+once the burst passes both unwind to a fully restored pipeline.
+
+``overload_burst_plan`` is the matching fault-plan recipe for DST: a
+seeded burst or ramp of node slowdowns across the analysis replicas.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simkernel import Environment
+from repro.containers.pipeline import Pipeline, PipelineBuilder
+from repro.faults.plan import FaultPlan
+from repro.lammps.workload import WeakScalingWorkload
+
+
+def build_overload_pipeline(
+    env: Environment,
+    steps: int = 16,
+    seed: int = 1,
+    managed: bool = True,
+    **overrides,
+) -> Pipeline:
+    """A Figure-7 pipeline with tight buffers, primed to wedge under a burst.
+
+    ``managed=False`` builds the unprotected baseline: no backpressure, no
+    brownout, and an effectively disabled control loop — the configuration
+    in which a burst blocks the producer for the rest of the run.
+    """
+    wl = WeakScalingWorkload(
+        sim_nodes=256,
+        staging_nodes=15,
+        spare_staging_nodes=2,
+        output_interval=15.0,
+        total_steps=steps,
+    )
+    num_writers = 4
+    kwargs = dict(
+        seed=seed,
+        num_sim_writers=num_writers,
+        monitor_interval=5.0,
+        # ~2 steps of headroom at the producer, ~3 at each stage writer:
+        # small enough that a burst fills them within the SLA horizon.
+        sim_buffer_bytes=2.2 * wl.bytes_per_step / num_writers,
+        stage_buffer_bytes=3.0 * wl.bytes_per_step,
+        fault_tolerance=True,
+        heartbeat_interval=1.0,
+        lease_timeout=5.0,
+    )
+    if managed:
+        kwargs.update(backpressure=True, brownout=True, control_interval=30.0)
+    else:
+        # No overload handling at all; the legacy policy loop is disabled
+        # too, so nothing reshapes the pipeline when the burst lands.
+        kwargs.update(control_interval=1e9)
+    kwargs.update(overrides)
+    return PipelineBuilder(env, wl, **kwargs).build()
+
+
+def overload_burst_plan(seed: int, pipe: Pipeline) -> FaultPlan:
+    """A seeded slowdown burst (or ramp) across the analysis replicas.
+
+    Victims are the bonds/csym replicas minus each container's first
+    replica (co-hosting its local manager) and the global manager's node,
+    so control traffic keeps flowing while the data plane saturates.
+    """
+    wl = pipe.driver.workload
+    nominal = wl.total_steps * wl.output_interval
+    rng = np.random.default_rng(seed if seed is not None else 0)
+    gm_id = pipe.global_manager.node.node_id
+    manager_ids = {m.node.node_id for m in pipe.managers.values()}
+    targets = []
+    for name in ("bonds", "csym"):
+        container = pipe.containers.get(name)
+        if container is None:
+            continue
+        for replica in container.replicas[1:]:
+            nid = replica.node.node_id
+            if nid != gm_id and nid not in manager_ids:
+                targets.append(nid)
+    if not targets:
+        return FaultPlan(seed=seed if seed is not None else 0)
+    start = float(rng.uniform(0.2, 0.35)) * nominal
+    duration = float(rng.uniform(0.25, 0.4)) * nominal
+    factor = float(rng.uniform(4.0, 10.0))
+    if rng.integers(2):
+        return FaultPlan.burst(
+            seed if seed is not None else 0, targets, start, duration, factor
+        )
+    return FaultPlan.ramp(
+        seed if seed is not None else 0, targets, start, duration, factor
+    )

@@ -1,0 +1,129 @@
+"""Accounted load shedding: every dropped timestep is an explicit record.
+
+When the pipeline must drop work — the driver raising its output stride
+under backpressure, a container skipping timesteps under a brownout
+stride, an offline prune flushing undeliverable buffers — the drop is not
+silent: it becomes a :class:`ShedRecord` in the pipeline's
+:class:`ShedLedger`.  The exactly-once delivery guarantee then
+generalizes to *every emitted timestep is either delivered or attributed
+to exactly one shed decision* — the property the
+``shed_accounting`` DST invariant checks on every schedule.
+
+The ledger is pure bookkeeping: recording schedules no simulation events,
+so wiring it into a pipeline changes nothing about runs that never shed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.perf.registry import REGISTRY
+
+#: the legal shed reasons (a decision is a (stage, reason) pair)
+SHED_REASONS = (
+    "backpressure_stride",  # the LAMMPS driver skipped an output step
+    "container_stride",     # a container's sampling stride skipped the step
+    "offline_prune",        # an offline cascade flushed/stranded the chunk
+)
+
+
+@dataclass(frozen=True)
+class ShedRecord:
+    """One shed decision applied to one timestep."""
+
+    timestep: int
+    #: the stage that took the decision ("lammps", "bonds", "csym", ...)
+    stage: str
+    #: one of :data:`SHED_REASONS`
+    reason: str
+    time: float
+    #: the dropped chunk, when the decision hit a concrete chunk
+    chunk_id: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {
+            "timestep": self.timestep,
+            "stage": self.stage,
+            "reason": self.reason,
+            "time": self.time,
+            "chunk_id": self.chunk_id,
+        }
+
+
+class ShedLedger:
+    """The pipeline-wide account of every shed decision.
+
+    ``is_delivered`` (when given) suppresses records for timesteps that
+    already exited the pipeline: an offline-teardown race can leave an
+    already-delivered chunk in a writer buffer, and flushing that copy
+    later must not mis-attribute a *delivered* timestep to a shed
+    decision.  Suppressions are counted, not hidden.
+    """
+
+    def __init__(self, is_delivered: Optional[Callable[[int], bool]] = None):
+        self.records: List[ShedRecord] = []
+        self.is_delivered = is_delivered
+        self.suppressed = 0
+        self._steps: Set[int] = set()
+
+    def record(
+        self,
+        timestep: int,
+        stage: str,
+        reason: str,
+        time: float,
+        chunk_id: Optional[int] = None,
+    ) -> bool:
+        """Account one shed decision; False when suppressed as delivered."""
+        if reason not in SHED_REASONS:
+            raise ValueError(f"unknown shed reason {reason!r}; known: {SHED_REASONS}")
+        if self.is_delivered is not None and self.is_delivered(timestep):
+            self.suppressed += 1
+            REGISTRY.count("overload.shed_suppressed")
+            return False
+        self.records.append(ShedRecord(int(timestep), stage, reason, float(time), chunk_id))
+        self._steps.add(int(timestep))
+        REGISTRY.count("overload.shed")
+        return True
+
+    # -- accounting views ---------------------------------------------------------
+
+    def steps(self) -> Set[int]:
+        """The set of shed timesteps."""
+        return set(self._steps)
+
+    def decisions(self) -> Dict[int, Set[Tuple[str, str]]]:
+        """timestep -> distinct (stage, reason) decisions recorded for it.
+
+        Several records per timestep are legal only when they share one
+        decision (e.g. a flush touching each writer's fragment of the
+        step); two *distinct* decisions for one timestep is the
+        double-count the ``shed_accounting`` invariant rejects.
+        """
+        out: Dict[int, Set[Tuple[str, str]]] = {}
+        for rec in self.records:
+            out.setdefault(rec.timestep, set()).add((rec.stage, rec.reason))
+        return out
+
+    def by_reason(self) -> Dict[str, int]:
+        """Distinct shed timesteps per reason."""
+        out: Dict[str, Set[int]] = {}
+        for rec in self.records:
+            out.setdefault(rec.reason, set()).add(rec.timestep)
+        return {reason: len(steps) for reason, steps in sorted(out.items())}
+
+    def shed_fraction(self, total_steps: int) -> float:
+        return len(self._steps) / total_steps if total_steps else 0.0
+
+    def as_dicts(self) -> List[dict]:
+        return [rec.as_dict() for rec in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShedLedger {len(self.records)} records over {len(self._steps)} "
+            f"timesteps ({self.suppressed} suppressed)>"
+        )

@@ -147,6 +147,56 @@ class TestRecoveryLadderGolden:
         assert exits[0] == exits[1] == exits[2]
 
 
+def _run_brownout_scenario():
+    """The deterministic overload run behind the brownout-ladder goldens:
+    a seeded burst saturates the stages, the ladder escalates through
+    steal/stride/offline and unwinds every rung with hysteresis."""
+    from repro.overload.scenario import build_overload_pipeline, overload_burst_plan
+
+    env = Environment()
+    pipe = build_overload_pipeline(env, steps=12, seed=3, managed=True)
+    pipe.arm_faults(overload_burst_plan(3, pipe))
+    pipe.run(settle=600)
+    return pipe
+
+
+def _brownout_ladder(pipe):
+    return [t for t in _engine_ladder(pipe)
+            if t["protocol"] in ("brownout_escalate", "brownout_recover")]
+
+
+class TestBrownoutLadderGolden:
+    """The brownout escalate/de-escalate protocol ladders, pinned
+    round-for-round like the REPLACE recovery ladder above."""
+
+    def test_ladder_matches_golden(self):
+        pipe = _run_brownout_scenario()
+        ladder = _brownout_ladder(pipe)
+        golden = GOLDEN["brownout_ladder_engine"]
+        assert len(ladder) == len(golden)
+        for got, want in zip(ladder, golden):
+            assert got["protocol"] == want["protocol"]
+            assert got["subject"] == want["subject"]
+            assert got["status"] == want["status"]
+            assert got["abort_reason"] == want["abort_reason"]
+            assert got["compensated"] == want["compensated"]
+            assert got["rounds"] == want["rounds"]
+            assert got["total"] == pytest.approx(want["total"], rel=0.25)
+        # both paths are exercised: escalations and their unwinds
+        protocols = [t["protocol"] for t in ladder]
+        assert "brownout_escalate" in protocols
+        assert "brownout_recover" in protocols
+
+    def test_identical_across_three_runs(self):
+        ladders, degradations = [], []
+        for _ in range(3):
+            pipe = _run_brownout_scenario()
+            ladders.append(_brownout_ladder(pipe))
+            degradations.append(pipe.degradation.as_dicts())
+        assert ladders[0] == ladders[1] == ladders[2]
+        assert degradations[0] == degradations[1] == degradations[2]
+
+
 class TestD2TGolden:
     def test_commit_message_count_and_phases(self):
         """One committed 16:4 transaction: same wire messages, same phases."""

@@ -78,6 +78,66 @@ class TestStagingBuffer:
         buf.release(c1.chunk_id)
         assert buf.high_water_bytes == 7000
 
+    def test_oversized_raises_even_when_empty(self, env, machine):
+        # BufferFull (not False) distinguishes "will never fit" from
+        # "full right now" — a producer must not wait on an impossible insert.
+        buf = StagingBuffer(env, machine.nodes[0], capacity_bytes=1000)
+        with pytest.raises(BufferFull):
+            buf.try_insert(chunk(nbytes=1001))
+        assert len(buf) == 0 and buf.used_bytes == 0
+
+    def test_space_waiter_wakeup_order_concurrent_producers(self, env, machine):
+        # Three producers block on a full buffer; each release wakes all
+        # waiters and they re-contend in arrival order, so space is granted
+        # first-blocked-first-served, one producer per release.
+        buf = StagingBuffer(env, machine.nodes[0], capacity_bytes=1000)
+        first = chunk(nbytes=900)
+        buf.try_insert(first)
+        admitted = []
+
+        def producer(env, tag, start):
+            yield env.timeout(start)
+            mine = chunk(nbytes=600)
+            yield buf.insert(mine)
+            admitted.append((env.now, tag))
+            # hold the space until explicitly released below
+            yield env.timeout(100)
+
+        def releaser(env):
+            yield env.timeout(5)
+            buf.release(first.chunk_id)
+
+        procs = [env.process(producer(env, tag, start))
+                 for tag, start in (("a", 1), ("b", 2), ("c", 3))]
+        env.process(releaser(env))
+        env.run(until=6)
+        # only one 600 B chunk fits in the 1000 B buffer: the first blocked
+        # producer wins, the later two stay parked
+        assert admitted == [(5.0, "a")]
+        winner = next(cid for cid in buf._chunks)
+        buf.release(winner)
+        env.run(until=7)
+        assert [tag for _, tag in admitted] == ["a", "b"]
+        winner = next(cid for cid in buf._chunks)
+        buf.release(winner)
+        env.run(until=8)
+        assert [tag for _, tag in admitted] == ["a", "b", "c"]
+        for proc in procs:
+            proc.interrupt("test done")
+
+    def test_insert_and_eviction_counters(self, env, machine):
+        from repro.perf.registry import REGISTRY
+
+        before_in = REGISTRY.counter("datatap.buffer_inserts")
+        before_out = REGISTRY.counter("datatap.buffer_evictions")
+        buf = StagingBuffer(env, machine.nodes[0], capacity_bytes=5000)
+        c1, c2 = chunk(nbytes=1000), chunk(nbytes=2000)
+        buf.try_insert(c1)
+        buf.try_insert(c2)
+        buf.release(c1.chunk_id)
+        assert REGISTRY.counter("datatap.buffer_inserts") == before_in + 2
+        assert REGISTRY.counter("datatap.buffer_evictions") == before_out + 1
+
 
 def build_link(env, machine, messenger, n_readers=2, queue_capacity=4):
     link = DataTapLink(env, messenger, "test-link")
