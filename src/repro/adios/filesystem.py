@@ -53,7 +53,7 @@ class ParallelFileSystem:
               attributes: Optional[Dict[str, Any]] = None):
         """Process: write ``nbytes`` from ``node``; fires with the record."""
         return self.env.process(
-            self._write(node, name, nbytes, attributes), name=f"pfs:{name}"
+            self._write(node, name, nbytes, attributes), name=("pfs:{}", name)
         )
 
     def _write(self, node: Node, name: str, nbytes: float, attributes):

@@ -129,7 +129,8 @@ class Network:
     def transfer(self, src: Node, dst: Node, nbytes: float):
         """Start a transfer; returns a process event that fires on completion."""
         return self.env.process(
-            self._transfer(src, dst, nbytes), name=f"xfer {src.node_id}->{dst.node_id}"
+            self._transfer(src, dst, nbytes),
+            name=("xfer {}->{}", src.node_id, dst.node_id),
         )
 
     def _transfer(self, src: Node, dst: Node, nbytes: float):
@@ -178,7 +179,7 @@ class Network:
         """
         return self.env.process(
             self._rdma_get(reader, target, nbytes),
-            name=f"rdma {target.node_id}->{reader.node_id}",
+            name=("rdma {}->{}", target.node_id, reader.node_id),
         )
 
     def _rdma_get(self, reader: Node, target: Node, nbytes: float):

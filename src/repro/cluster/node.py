@@ -119,7 +119,7 @@ class Node:
             raise SimulationError(
                 f"node {self.node_id}: requested {cores} cores, has {self.num_cores}"
             )
-        return self.env.process(self._compute(seconds, cores), name=f"compute@{self.node_id}")
+        return self.env.process(self._compute(seconds, cores), name=("compute@{}", self.node_id))
 
     def _compute(self, seconds: float, cores: int):
         requests = [self.cores.request() for _ in range(cores)]

@@ -148,6 +148,13 @@ class Pipeline:
                 self.backpressure.stop()
             if self.brownout is not None:
                 self.brownout.stop()
+        # Attribute wall-clock to engine overhead: events processed,
+        # tombstones skipped, heap high-water mark (delta-published, so a
+        # later drain/publish never double-counts).  getattr-guarded so the
+        # frozen ReferenceEnvironment can still drive a pipeline in benches.
+        publish = getattr(self.env, "publish_perf", None)
+        if publish is not None:
+            publish(PERF)
         return finished
 
     def node_census(self) -> dict:

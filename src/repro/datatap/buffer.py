@@ -16,6 +16,11 @@ from repro.cluster.node import Node
 from repro.data import DataChunk
 from repro.perf.registry import REGISTRY
 
+# Pre-resolved counter handles: these fire once per chunk on the data
+# path, so skip the per-call dict lookup of REGISTRY.count.
+_INSERTS = REGISTRY.handle("datatap.buffer_inserts")
+_EVICTIONS = REGISTRY.handle("datatap.buffer_evictions")
+
 
 class BufferFull(SimulationError):
     """Raised on non-blocking insert into a full buffer."""
@@ -91,14 +96,14 @@ class StagingBuffer:
         self._used += chunk.nbytes
         self.high_water_bytes = max(self.high_water_bytes, self._used)
         self.inserts += 1
-        REGISTRY.count("datatap.buffer_inserts")
+        _INSERTS.add()
         # The timer's max across all buffers is the fleet high-water mark.
         REGISTRY.record_duration("datatap.buffer_occupancy", self.occupancy)
         return True
 
     def insert(self, chunk: DataChunk):
         """Blocking insert: returns a process event that fires once stored."""
-        return self.env.process(self._insert(chunk), name=f"buf-insert:{self.name}")
+        return self.env.process(self._insert(chunk), name=("buf-insert:{}", self.name))
 
     def _insert(self, chunk: DataChunk):
         while not self.try_insert(chunk):
@@ -122,7 +127,7 @@ class StagingBuffer:
         self._used -= chunk.nbytes
         self.node.free_memory(chunk.nbytes)
         self.evictions += 1
-        REGISTRY.count("datatap.buffer_evictions")
+        _EVICTIONS.add()
         waiters, self._space_waiters = self._space_waiters, []
         for waiter in waiters:
             waiter.succeed()

@@ -11,6 +11,8 @@ from repro.evpath.channel import Messenger
 from repro.evpath.messages import Message, MessageType
 from repro.perf.registry import REGISTRY
 
+_DUP_DROPPED = REGISTRY.handle("datatap.dup_dropped")
+
 if TYPE_CHECKING:
     from repro.datatap.link import DataTapLink
 
@@ -69,7 +71,7 @@ class DataTapReader:
                 return
             self._inflight += 1
             self._current_meta = meta
-            self._pull_proc = self.env.process(self._pull(meta), name=f"pull:{self.name}")
+            self._pull_proc = self.env.process(self._pull(meta), name=("pull:{}", self.name))
             try:
                 yield self._pull_proc
             except Interrupt:
@@ -173,7 +175,7 @@ class DataTapReader:
     def _drop_duplicate(self) -> None:
         if self.link is not None:
             self.link.dup_dropped += 1
-        REGISTRY.count("datatap.dup_dropped")
+        _DUP_DROPPED.add()
 
     # -- teardown ---------------------------------------------------------------------
 

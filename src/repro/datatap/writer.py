@@ -110,7 +110,7 @@ class DataTapWriter:
 
     def write(self, chunk: DataChunk):
         """Asynchronous write; the event fires once the chunk is buffered."""
-        return self.env.process(self._write(chunk), name=f"dtwrite:{self.name}")
+        return self.env.process(self._write(chunk), name=("dtwrite:{}", self.name))
 
     def _write(self, chunk: DataChunk):
         if self.link is None:
@@ -140,7 +140,7 @@ class DataTapWriter:
 
     def spawn_metadata_push(self, chunk: DataChunk) -> None:
         """Fire-and-forget metadata push; the writer does not wait."""
-        self.env.process(self._push_metadata(chunk), name=f"meta:{self.name}")
+        self.env.process(self._push_metadata(chunk), name=("meta:{}", self.name))
 
     def _push_metadata(self, chunk: DataChunk):
         reader_name = self.link.next_reader_for(self)

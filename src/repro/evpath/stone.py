@@ -92,7 +92,7 @@ class StoneGraph:
     def submit(self, stone: Stone, event: Any, size_bytes: int = 256):
         """Inject ``event`` at ``stone``; returns the traversal process."""
         return self.env.process(
-            self._walk(stone, event, size_bytes), name=f"evflow@{stone.name}"
+            self._walk(stone, event, size_bytes), name=("evflow@{}", stone.name)
         )
 
     def _walk(self, stone: Stone, event: Any, size_bytes: int):

@@ -51,6 +51,28 @@ class KernelStats:
         }
 
 
+class CounterHandle:
+    """A pre-resolved counter: one attribute bump instead of a dict lookup.
+
+    Hot loops (datatap buffer inserts, the engine counter publisher) hold a
+    handle and call :meth:`add`; the registry folds handle values into
+    :meth:`PerfRegistry.counter` / :meth:`PerfRegistry.snapshot` reads, and
+    :meth:`PerfRegistry.reset` zeroes them in place so long-lived holders
+    stay valid across bench scenarios.
+    """
+
+    __slots__ = ("name", "value", "_registry")
+
+    def __init__(self, registry: "PerfRegistry", name: str):
+        self._registry = registry
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        if self._registry.enabled:
+            self.value += amount
+
+
 @dataclass
 class PerfRegistry:
     """Process-wide accumulator for kernel timers and event counters."""
@@ -58,6 +80,7 @@ class PerfRegistry:
     enabled: bool = True
     _timers: Dict[str, KernelStats] = field(default_factory=dict)
     _counters: Dict[str, int] = field(default_factory=dict)
+    _handles: Dict[str, CounterHandle] = field(default_factory=dict)
 
     # -- timers -----------------------------------------------------------------
 
@@ -116,21 +139,43 @@ class PerfRegistry:
             return
         self._counters[name] = self._counters.get(name, 0) + amount
 
+    def count_max(self, name: str, value: int) -> None:
+        """Fold a high-water mark into ``name`` (keeps the maximum seen)."""
+        if not self.enabled:
+            return
+        if value > self._counters.get(name, 0):
+            self._counters[name] = value
+
+    def handle(self, name: str) -> CounterHandle:
+        """A reusable :class:`CounterHandle` for ``name`` (cached per name)."""
+        h = self._handles.get(name)
+        if h is None:
+            h = self._handles[name] = CounterHandle(self, name)
+        return h
+
     def counter(self, name: str) -> int:
-        return self._counters.get(name, 0)
+        total = self._counters.get(name, 0)
+        h = self._handles.get(name)
+        return total + h.value if h is not None else total
 
     # -- lifecycle --------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict]:
         """JSON-serializable view of all timers and counters."""
+        counters = dict(self._counters)
+        for name, h in self._handles.items():
+            if h.value:
+                counters[name] = counters.get(name, 0) + h.value
         return {
             "timers": {k: v.as_dict() for k, v in sorted(self._timers.items())},
-            "counters": dict(sorted(self._counters.items())),
+            "counters": dict(sorted(counters.items())),
         }
 
     def reset(self) -> None:
         self._timers.clear()
         self._counters.clear()
+        for h in self._handles.values():
+            h.value = 0
 
 
 #: The default registry every instrumented kernel reports to.

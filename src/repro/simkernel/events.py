@@ -32,7 +32,7 @@ class Event:
         The :class:`~repro.simkernel.core.Environment` the event belongs to.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_cancelled")
 
     #: Sentinel for "not yet triggered".
     PENDING = object()
@@ -44,6 +44,10 @@ class Event:
         self._value: Any = Event.PENDING
         self._ok: bool = True
         self._defused: bool = False
+        #: Tombstone flag — see :meth:`Environment.cancel`.  A cancelled
+        #: event is still on the heap but is skipped at pop; subscribing to
+        #: it (a process yield, a condition) revives it.
+        self._cancelled: bool = False
 
     # -- state ---------------------------------------------------------------
 
@@ -84,6 +88,11 @@ class Event:
     @property
     def defused(self) -> bool:
         return self._defused
+
+    @property
+    def cancelled(self) -> bool:
+        """True while the event sits tombstoned on the heap."""
+        return self._cancelled
 
     # -- triggering ----------------------------------------------------------
 
@@ -139,12 +148,15 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env, delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Negative delays are rejected by Environment.schedule — the single
+        # validation point (this used to be checked here as well).
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
+        self.delay = delay
         env.schedule(self, NORMAL, delay)
 
     def __repr__(self) -> str:
@@ -157,10 +169,12 @@ class Initialize(Event):
     __slots__ = ()
 
     def __init__(self, env, process):
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._value = None
+        self._ok = True
+        self._defused = False
+        self._cancelled = False
         env.schedule(self, URGENT)
 
 
@@ -171,13 +185,16 @@ class Condition(Event):
     to its value, in trigger order.
     """
 
-    __slots__ = ("_evaluate", "_events", "_count")
+    __slots__ = ("_evaluate", "_events", "_count", "_cb")
 
     def __init__(self, env, evaluate: Callable[[List[Event], int], bool], events: Iterable[Event]):
         super().__init__(env)
         self._evaluate = evaluate
         self._events = list(events)
         self._count = 0
+        # One bound method for all subscriptions: cheaper to append, and
+        # list.remove() in _prune_waiters hits the identity fast path.
+        cb = self._cb = self._check
 
         for event in self._events:
             if event.env is not env:
@@ -194,7 +211,15 @@ class Condition(Event):
             if event.callbacks is None:
                 self._check(event)
             else:
-                event.callbacks.append(self._check)
+                if event._cancelled:  # waiting on a tombstone revives it
+                    event._cancelled = False
+                    env._tombstones -= 1
+                event.callbacks.append(cb)
+
+        # If an already-processed constituent fired the condition mid-loop,
+        # events subscribed after it are already losers — drop them now.
+        if self._value is not Event.PENDING:
+            self._prune_waiters()
 
     def _ordered_values(self) -> dict:
         values = {}
@@ -217,8 +242,33 @@ class Condition(Event):
         if event.failed:
             event.defuse()
             self.fail(event._value)
+            self._prune_waiters()
         elif self._evaluate(self._events, self._count):
             self.succeed(None)
+            self._prune_waiters()
+
+    def _prune_waiters(self) -> None:
+        """Unsubscribe from constituents that can no longer matter.
+
+        Once the condition has fired, a *triggered, successful* constituent
+        still on the heap is a pure no-op when popped (the old `_check`
+        early-return).  Drop our callback from it, and if nobody else waits
+        on it either, tombstone it so the engine can skip or compact it —
+        this is how `any_of([reply, timeout])` loser timers vanish from the
+        heap.  Untriggered or failed constituents keep the subscription:
+        they may still fail later and need defusing.
+        """
+        cb = self._cb
+        cancel = self.env.cancel
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks and event._value is not Event.PENDING and event._ok:
+                try:
+                    callbacks.remove(cb)
+                except ValueError:
+                    pass
+                if not callbacks:
+                    cancel(event)
 
     def succeed(self, value: Any = None) -> "Event":  # noqa: D102 - see Event
         return super().succeed(self._ordered_values())

@@ -6,6 +6,12 @@ event fires, then resumes with the event's value (or has the event's exception
 thrown into it).  ``return value`` ends the process and becomes the value of
 the process-event itself, so processes compose: ``result = yield env.process(
 sub())``.
+
+Hot-path notes: every suspend/resume cycle used to allocate a fresh bound
+method for the subscription; ``_resume_cb`` is bound once per process
+instead.  Per-message callers (the messenger, datatap movers) pass names as
+lazy ``(format, *args)`` tuples that are only rendered when somebody reads
+``process.name`` (repr, traces, error messages).
 """
 
 from __future__ import annotations
@@ -19,21 +25,39 @@ from repro.simkernel.events import Event, URGENT
 class Process(Event):
     """A running process.  Also an event that fires when the process ends."""
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "_name", "_resume_cb")
 
-    def __init__(self, env, generator: Generator, name: Optional[str] = None):
+    def __init__(self, env, generator: Generator, name=None):
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
-        self.name = name or getattr(generator, "__name__", "process")
+        #: None (derive from the generator), a str, or a lazy
+        #: ``(format_string, *args)`` tuple rendered on first read.
+        self._name = name
         #: The event this process is currently waiting on (None when running
         #: or finished).
         self._target: Optional[Event] = None
+        #: The one bound method used for every event subscription.
+        self._resume_cb = self._resume
 
         from repro.simkernel.events import Initialize
 
         Initialize(env, self)
+
+    @property
+    def name(self) -> str:
+        """The process name, rendered lazily for tuple-form names."""
+        n = self._name
+        if n is None:
+            return getattr(self._generator, "__name__", "process")
+        if type(n) is tuple:
+            n = self._name = n[0].format(*n[1:])
+        return n
+
+    @name.setter
+    def name(self, value) -> None:
+        self._name = value
 
     @property
     def is_alive(self) -> bool:
@@ -60,59 +84,72 @@ class Process(Event):
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._resume_cb)
         self.env.schedule(event, URGENT)
 
     # -- engine ---------------------------------------------------------------
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the outcome of ``event``."""
-        self.env.active_process = self
+        env = self.env
+        env.active_process = self
 
         # If we were interrupted, unsubscribe from the event we were waiting
-        # on; it may still fire later and must not resume us twice.
-        if event is not self._target and self._target is not None:
-            if self._target.callbacks is not None:
+        # on; it may still fire later and must not resume us twice.  If that
+        # leaves a triggered, successful event with no subscribers at all it
+        # is a dead no-op on the heap — tombstone it.
+        target = self._target
+        if event is not target and target is not None:
+            callbacks = target.callbacks
+            if callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    callbacks.remove(self._resume_cb)
                 except ValueError:
                     pass
+                if not callbacks and target._value is not Event.PENDING and target._ok:
+                    env.cancel(target)
 
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The event failed: throw its exception into the process.
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as stop:
                 self._target = None
-                self.env.active_process = None
+                env.active_process = None
                 self._ok = True
                 self._value = stop.value
-                self.env.schedule(self)
+                env.schedule(self)
                 return
             except BaseException as error:
                 self._target = None
-                self.env.active_process = None
+                env.active_process = None
                 self._ok = False
                 self._value = error
-                self.env.schedule(self)
+                env.schedule(self)
                 return
 
             if not isinstance(next_event, Event):
                 error = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
-                self._generator.throw(error)
+                generator.throw(error)
                 continue
 
-            if next_event.callbacks is not None:
-                # Event pending: subscribe and suspend.
-                next_event.callbacks.append(self._resume)
+            callbacks = next_event.callbacks
+            if callbacks is not None:
+                # Event pending: subscribe and suspend.  Yielding a
+                # tombstoned event revives it.
+                if next_event._cancelled:
+                    next_event._cancelled = False
+                    env._tombstones -= 1
+                callbacks.append(self._resume_cb)
                 self._target = next_event
-                self.env.active_process = None
+                env.active_process = None
                 return
 
             # Event already processed: loop and feed its value immediately.

@@ -226,3 +226,105 @@ class TestOverlay:
         with pytest.raises(ValueError):
             OverlayTree(env, messenger, machine.nodes[0], machine.nodes[1:3],
                         on_report=lambda r: None, fanout=1)
+
+
+class TestFastSendIdentity:
+    """The _FastSend chain must schedule the *identical* event sequence the
+    process-based send does — that is the whole byte-identity contract of
+    the messenger fast path."""
+
+    @staticmethod
+    def _scenario(force_process_path):
+        """One fixed send pattern: contended cross-node sends (capacity-1
+        NIC channels force queueing) plus an intra-node send."""
+        from repro.simkernel import Environment
+        from repro.simkernel.events import NORMAL
+        from repro.cluster import Machine
+        from repro.evpath import Messenger
+        from repro.evpath.messages import Message, MessageType
+
+        env = Environment()
+        machine = Machine(env, num_nodes=4, cores_per_node=2)
+        messenger = Messenger(env, machine.network)
+        ep = messenger.endpoint(machine.nodes[1], "dst")
+        ep_local = messenger.endpoint(machine.nodes[0], "loop")
+
+        log = []
+        orig = env.schedule
+
+        def spy(event, priority=NORMAL, delay=0.0):
+            log.append((round(env.now, 12), priority, round(delay, 12),
+                        "Request" if type(event).__name__.endswith("Request")
+                        else "ev"))
+            return orig(event, priority, delay)
+
+        env.schedule = spy
+
+        def send(src, to, msg):
+            if force_process_path:
+                dest = messenger.lookup(to)
+                from repro.evpath.messages import validate_message
+                validate_message(msg)
+                return env.process(messenger._send(src, dest, msg))
+            return messenger.send(src, to, msg)
+
+        done = []
+
+        def sender(env, src, to, payload):
+            msg = yield send(src, to, Message(MessageType.ACK, "src", payload=payload))
+            done.append((env.now, msg.payload))
+
+        # two cross-node sends from the same source contend for its single
+        # NIC send channel; a third from another node contends at the
+        # receiver; plus one intra-node loopback
+        env.process(sender(env, machine.nodes[0], "dst", 1))
+        env.process(sender(env, machine.nodes[0], "dst", 2))
+        env.process(sender(env, machine.nodes[2], "dst", 3))
+        env.process(sender(env, machine.nodes[0], "loop", 4))
+
+        received = []
+
+        def receiver(env, endpoint, n):
+            for _ in range(n):
+                msg = yield endpoint.recv()
+                received.append((env.now, msg.payload))
+
+        env.process(receiver(env, ep, 3))
+        env.process(receiver(env, ep_local, 1))
+        env.run()
+        stats = machine.network.stats
+        return (log, done, received, env.now, messenger.messages_sent,
+                messenger.bytes_sent, stats.messages, stats.bytes,
+                stats.busy_time, stats.wait_time)
+
+    def test_fast_chain_matches_process_path(self):
+        fast = self._scenario(force_process_path=False)
+        slow = self._scenario(force_process_path=True)
+        assert fast == slow
+
+    def test_fast_path_taken_when_fault_free(self, env, machine, messenger):
+        from repro.evpath.channel import _FastSend  # noqa: F401
+        from repro.evpath.messages import Message, MessageType
+        from repro.simkernel import Event, Process
+
+        messenger.endpoint(machine.nodes[1], "d")
+        ev = messenger.send(machine.nodes[0], "d",
+                            Message(MessageType.ACK, "s"))
+        assert type(ev) is Event  # chain result, not a Process
+        env.run()
+        assert ev.value.mtype is MessageType.ACK
+
+    def test_fallback_when_faults_armed(self, env, machine, messenger):
+        from repro.evpath.messages import Message, MessageType
+        from repro.simkernel import Process
+
+        messenger.endpoint(machine.nodes[1], "d")
+        machine.network.faults = object.__new__(type("S", (), {
+            "transit_check": lambda self, s, d, n: None,
+            "delay_factor": lambda self, s, d: 1.0,
+        }))
+        ev = messenger.send(machine.nodes[0], "d",
+                            Message(MessageType.ACK, "s"))
+        assert isinstance(ev, Process)  # generic path
+        env.run()
+        assert ev.value.mtype is MessageType.ACK
