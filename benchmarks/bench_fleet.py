@@ -1,0 +1,160 @@
+"""Fleet bench: N tenant pipelines on one machine under the fleet arbiter.
+
+Runs the canonical mixed-tenant slate (tenant ``t00`` = tight-buffer
+overload preset with the seeded burst at lowest priority; the rest
+alternate the fig7 and S3D mixes) in a single simulation and measures the
+headline: tenants x per-tenant SLA compliance x aggregate simulator
+events/sec.  The acceptance properties are asserted, not just reported:
+every tenant finishes and accounts for every timestep, t00 browns out,
+no other tenant misses its SLA, and the arbiter's event-time quota audit
+stays clean.  The same seed is then replayed and the per-tenant
+delivery/shed/degradation records plus the full arbiter decision trace
+must be identical.
+
+Emits ``BENCH_fleet.json`` at the repo root via the shared perf-report
+machinery (same schema as ``BENCH_kernels.json``), including the
+``fleet.<tenant>.*`` occupancy/loan counters.
+
+Smoke mode for CI: ``BENCH_SMOKE=1`` shrinks the fleet to 8 tenants.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_fleet.py``.
+"""
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.figures import run_fleet
+from repro.perf.registry import REGISTRY
+from repro.perf.report import write_kernel_report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+TENANTS = 8 if SMOKE else 32
+STEPS = 6
+SEED = 7
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+
+def fleet_metrics(result, wall_seconds):
+    """Sanity-check one fleet experiment result and pull the headlines."""
+    assert result["ok"], (
+        f"fleet experiment reported not-ok: unaccounted={result['unaccounted']} "
+        f"browned_out={result['overloaded_browned_out']} "
+        f"others_met_sla={result['others_met_sla']} "
+        f"arbiter_violations={result['arbiter']['violations']}"
+    )
+    rows = result["rows"]
+    victims = [r for r in rows if r["preset"] == "overload"]
+    others = [r for r in rows if r["preset"] != "overload"]
+    assert victims and all(r["degradations"] > 0 for r in victims), victims
+    assert all(r["sla_compliance"] == 1.0 for r in others), [
+        r for r in others if r["sla_compliance"] != 1.0
+    ]
+    compliances = [r["sla_compliance"] for r in rows]
+    return {
+        "tenants": result["tenants"],
+        "mean_sla_compliance": sum(compliances) / len(compliances),
+        "min_other_sla_compliance": min(r["sla_compliance"] for r in others),
+        "victim_shed_steps": sum(r["shed"] for r in victims),
+        "victim_degradations": sum(r["degradations"] for r in victims),
+        "events_processed": result["events_processed"],
+        "events_per_sec": result["events_processed"] / max(wall_seconds, 1e-9),
+        "arbiter_actions": result["arbiter"]["actions"],
+    }
+
+
+def run_suite():
+    """Fleet run + replay-identity run; returns (metrics, identity_blob)."""
+    t0 = time.perf_counter()
+    result = run_fleet(seed=SEED, tenants=TENANTS, steps=STEPS)
+    wall = time.perf_counter() - t0
+    metrics = fleet_metrics(result, wall)
+
+    # Replay: the identical seed must reproduce identical per-tenant
+    # accounting and the identical arbiter decision sequence.
+    result2 = run_fleet(seed=SEED, tenants=TENANTS, steps=STEPS)
+    identity = {
+        "rows_a": result["rows"],
+        "rows_b": result2["rows"],
+        "arbiter_a": result["arbiter"]["trace"],
+        "arbiter_b": result2["arbiter"]["trace"],
+        "sig_a": result["plan_signature"],
+        "sig_b": result2["plan_signature"],
+    }
+    assert identity["rows_a"] == identity["rows_b"], "tenant accounting diverged"
+    assert identity["arbiter_a"] == identity["arbiter_b"], "arbiter trace diverged"
+    assert identity["sig_a"] == identity["sig_b"], "fault plan diverged"
+    return metrics, identity
+
+
+def emit_report(metrics):
+    perf = REGISTRY.snapshot()
+    fleet_counters = {
+        k: v for k, v in perf["counters"].items()
+        if k.split(".")[0] in ("fleet", "overload", "pipeline")
+    }
+    results = {
+        "fleet.tenants": metrics["tenants"],
+        "fleet.mean_sla_compliance": metrics["mean_sla_compliance"],
+        "fleet.min_other_sla_compliance": metrics["min_other_sla_compliance"],
+        "fleet.events_per_sec": metrics["events_per_sec"],
+    }
+    doc = write_kernel_report(
+        REPORT_PATH,
+        results,
+        counters={
+            **fleet_counters,
+            "fleet.victim_shed_steps": metrics["victim_shed_steps"],
+            "fleet.victim_degradations": metrics["victim_degradations"],
+            "fleet.events_processed": metrics["events_processed"],
+        },
+        meta={
+            "bench": "bench_fleet",
+            "smoke": SMOKE,
+            "seed": SEED,
+            "tenants": metrics["tenants"],
+            "steps": STEPS,
+            "arbiter_actions": metrics["arbiter_actions"],
+            "scenario": (
+                "mixed overload/fig7/s3d tenants, shared spare pool, "
+                "seeded burst on t00 + one crash plan"
+            ),
+        },
+    )
+    return doc
+
+
+def test_fleet(benchmark):
+    from conftest import print_table
+
+    metrics, identity = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    emit_report(metrics)
+    benchmark.extra_info.update(
+        {
+            "report": str(REPORT_PATH),
+            "tenants": metrics["tenants"],
+            "events_per_sec": metrics["events_per_sec"],
+        }
+    )
+    print_table(
+        "Fleet metrics",
+        ["Metric", "Value"],
+        [[k, f"{v:.3f}" if isinstance(v, float) else str(v)]
+         for k, v in sorted(metrics.items())],
+    )
+    assert identity["rows_a"] == identity["rows_b"]
+
+
+def main():
+    metrics, _ = run_suite()
+    emit_report(metrics)
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, float):
+            print(f"{name:28s} {value:12.3f}")
+        else:
+            print(f"{name:28s} {value!s:>12}")
+    print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

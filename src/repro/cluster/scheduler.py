@@ -24,6 +24,7 @@ from repro.simkernel import Environment
 from repro.simkernel.errors import SimulationError
 from repro.cluster.machine import Partition
 from repro.cluster.node import Node
+from repro.perf.registry import REGISTRY as PERF
 
 
 @dataclass
@@ -71,6 +72,7 @@ class BatchScheduler:
         pool: Partition,
         aprun: Optional[AprunModel] = None,
         rng: Optional[np.random.Generator] = None,
+        label: str = "cluster.scheduler",
     ):
         self.env = env
         self.pool = pool
@@ -81,6 +83,16 @@ class BatchScheduler:
         self._next_job_id = 0
         #: nodes lost to injected crashes; never handed out again
         self.failed_nodes: List[Node] = []
+        #: nodes on loan from the fleet arbiter (see :meth:`adopt`)
+        self._borrowed: set = set()
+        #: perf namespace; fleet tenants use ``fleet.<tenant>`` so holdings
+        #: show up per tenant.  Occupancy is published as a monotone pair of
+        #: cumulative counters (allocated/released) rather than a raw gauge —
+        #: the DST ``monotone_perf`` oracle requires counters never decrease;
+        #: the current gauge is the difference (see also :meth:`occupancy`).
+        self.label = label
+        self._c_allocated = PERF.handle(f"{label}.nodes_allocated")
+        self._c_released = PERF.handle(f"{label}.nodes_released")
 
     # -- inventory -------------------------------------------------------------------
 
@@ -136,6 +148,8 @@ class BatchScheduler:
         )
         self._next_job_id += 1
         self._jobs[job.job_id] = job
+        self._c_allocated.add(count)
+        PERF.count_max(f"{self.label}.busy_peak", self.busy_nodes)
         return job
 
     def allocate_specific(self, nodes: List[Node], name: str = "job") -> Job:
@@ -158,6 +172,8 @@ class BatchScheduler:
         )
         self._next_job_id += 1
         self._jobs[job.job_id] = job
+        self._c_allocated.add(len(nodes))
+        PERF.count_max(f"{self.label}.busy_peak", self.busy_nodes)
         return job
 
     def launch(self, count: int, name: str = "job"):
@@ -182,6 +198,7 @@ class BatchScheduler:
         job.released = True
         del self._jobs[job.job_id]
         self._free.extend(job.nodes)
+        self._c_released.add(len(job.nodes))
 
     def release_nodes(self, job: Job, count: int) -> List[Node]:
         """Shrink a job by returning ``count`` of its nodes to the pool.
@@ -195,4 +212,53 @@ class BatchScheduler:
             )
         released = [job.nodes.pop() for _ in range(count)]
         self._free.extend(released)
+        self._c_released.add(count)
         return released
+
+    # -- fleet borrowing ---------------------------------------------------------------
+
+    def adopt(self, nodes: List[Node]) -> None:
+        """Absorb nodes loaned by the fleet arbiter into this pool.
+
+        The nodes join the partition's node list, the free list, and the
+        borrowed set, so ordinary ``allocate`` calls can claim them and
+        the arbiter can later reclaim them with :meth:`expel`.
+        """
+        for node in nodes:
+            if node in self.pool.nodes:
+                raise SimulationError(
+                    f"scheduler: node {node.node_id} already in pool {self.pool.name!r}"
+                )
+        for node in nodes:
+            self.pool.nodes.append(node)
+            self._free.append(node)
+            self._borrowed.add(node)
+
+    def expel(self, nodes: List[Node]) -> None:
+        """Hand borrowed nodes back to the arbiter.  Nodes must be free."""
+        for node in nodes:
+            if node not in self._free:
+                raise SimulationError(
+                    f"scheduler: cannot expel busy node {node.node_id}"
+                )
+        for node in nodes:
+            self._free.remove(node)
+            self.pool.nodes.remove(node)
+            self._borrowed.discard(node)
+
+    def is_borrowed(self, node: Node) -> bool:
+        return node in self._borrowed
+
+    def free_borrowed(self) -> List[Node]:
+        """Borrowed nodes currently idle — reclaimable by the arbiter."""
+        return [node for node in self._free if node in self._borrowed]
+
+    def occupancy(self) -> Dict[str, int]:
+        """Point-in-time occupancy snapshot (for reports, not perf counters)."""
+        return {
+            "pool": len(self.pool),
+            "free": self.free_nodes,
+            "busy": self.busy_nodes,
+            "failed": len(self.failed_nodes),
+            "borrowed": len(self._borrowed),
+        }

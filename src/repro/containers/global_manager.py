@@ -81,6 +81,10 @@ class GlobalManager:
         self.recovery = None
         #: pipeline-wide shed ledger, when shed accounting is wired
         self.shed_ledger = None
+        #: fleet identity: multi-tenant runs shard one GM per tenant and
+        #: route spare-pool traffic through the shared FleetArbiter
+        self.tenant = "default"
+        self.arbiter = None
         self._recv_proc = env.process(self._recv_loop(), name="gm-recv")
         self._control_proc = env.process(self._control_loop(), name="gm-control")
         self._stopped = False
@@ -168,7 +172,7 @@ class GlobalManager:
             states = self.snapshot()
             actions = self.policy.decide(
                 states,
-                spare_nodes=self.scheduler.free_nodes,
+                spare_nodes=self.spare_capacity(),
                 sla_interval=self.sla_interval,
                 now=self.env.now,
                 horizon=self.overflow_horizon,
@@ -185,8 +189,58 @@ class GlobalManager:
                         yield self.steal(action.donor, action.recipient, action.count)
                     elif isinstance(action, Offline):
                         yield self.take_offline(action.container)
+            except SimulationError as exc:
+                # The capacity the policy saw can be claimed out from under
+                # the protocol — in a fleet, another tenant's GM races this
+                # one for the arbiter's spares.  A lost race is a transient:
+                # log it and let the next control period re-decide.
+                self.actions_taken.append(f"action failed: {exc}")
+                self.telemetry.mark(self.env.now, f"control action failed: {exc}")
             finally:
                 self.control_lock.release(request)
+
+    # -- fleet spare pool ---------------------------------------------------------------------
+
+    def spare_capacity(self) -> int:
+        """Spare nodes reachable by this GM: the tenant scheduler's free
+        pool plus whatever the fleet arbiter would grant us right now."""
+        extra = 0
+        if self.arbiter is not None:
+            extra = self.arbiter.available_to(self.tenant)
+        return self.scheduler.free_nodes + extra
+
+    def _borrow(self, count: int) -> int:
+        """Top up the tenant free pool from the arbiter to cover ``count``.
+
+        Synchronous (the arbiter is in-memory state, like the scheduler),
+        so it is safe inside sync protocol rounds.  Returns the number of
+        nodes actually granted; the grant may fall short of the shortfall
+        when quota or spares run out.
+        """
+        if self.arbiter is None:
+            return 0
+        shortfall = count - self.scheduler.free_nodes
+        if shortfall <= 0:
+            return 0
+        granted = self.arbiter.request(self.tenant, shortfall)
+        return len(granted)
+
+    def _return_borrowed(self, nodes: List[Node]) -> int:
+        """Route any *borrowed* (and free) nodes back to the arbiter.
+
+        Abort paths call this after restocking the tenant free list: loaned
+        capacity must land back in the shared spare pool, not linger as a
+        tenant-held spare the quota audit would flag.
+        """
+        if self.arbiter is None:
+            return 0
+        loaned = [
+            n for n in nodes
+            if self.scheduler.is_borrowed(n) and n in self.scheduler._free
+        ]
+        if loaned:
+            self.arbiter.give_back(self.tenant, loaned)
+        return len(loaned)
 
     # -- operations ---------------------------------------------------------------------------
 
@@ -207,6 +261,8 @@ class GlobalManager:
         if ctx["nodes"] is None:
             name, count = ctx["name"], ctx["count"]
             if count > self.scheduler.free_nodes:
+                self._borrow(count)
+            if count > self.scheduler.free_nodes:
                 raise SimulationError(
                     f"increase {name!r} by {count}: only {self.scheduler.free_nodes} spare"
                 )
@@ -223,7 +279,7 @@ class GlobalManager:
             raise ProtocolAbort(f"{len(dead)} target nodes dead")
 
     def _gmi_abort(self, ctx):
-        name, nodes = ctx["name"], ctx["nodes"]
+        name, nodes = ctx["name"], ctx["nodes"] or []
         dead = [n for n in nodes if n.failed]
         for node in dead:
             self.scheduler.mark_failed(node)
@@ -231,6 +287,9 @@ class GlobalManager:
         for node in alive:
             if node not in self.scheduler._free:
                 self.scheduler._free.append(node)
+        # Loaned capacity goes back to the fleet arbiter, not this tenant's
+        # spare pool — an aborted grow must not convert a loan into a hold.
+        self._return_borrowed(alive)
         self.actions_taken.append(
             f"increase {name} aborted ({len(dead)} target nodes dead)"
         )
@@ -307,6 +366,7 @@ class GlobalManager:
                 self.scheduler.mark_failed(node)
             elif node not in self.scheduler._free:
                 self.scheduler._free.append(node)
+        self._return_borrowed([n for n in freed if not n.failed])
         alive = sum(1 for n in freed if not n.failed)
         self.actions_taken.append(
             f"steal {ctx['donor']}->{ctx['recipient']} aborted; "
@@ -487,7 +547,10 @@ class GlobalManager:
             if container.input_link.credits is not None:
                 # The credits described a downstream that no longer exists.
                 container.input_link.credits.reset()
-        count = min(units if units else 1, self.scheduler.free_nodes)
+        wanted = units if units else 1
+        if wanted > self.scheduler.free_nodes:
+            self._borrow(wanted)
+        count = min(wanted, self.scheduler.free_nodes)
         if count <= 0:
             container.offline = True
             return 0

@@ -54,8 +54,13 @@ class StageConfig:
     #: SLA class: 1.0 = deadline (finish by the next timestep, e.g.
     #: checkpointing); < 1.0 = low latency (e.g. crack discovery)
     sla_factor: float = 1.0
+    #: explicit component spec (e.g. the S3D set); None = look up the
+    #: SmartPointer registry by component name
+    component_spec: Optional[ComponentSpec] = None
 
     def spec(self) -> ComponentSpec:
+        if self.component_spec is not None:
+            return self.component_spec
         return SMARTPOINTER_COMPONENTS[self.component]
 
 
@@ -96,6 +101,11 @@ class Pipeline:
         self.control_trace = ControlPlaneTrace()
         self.control_plane = ControlPlaneEngine(env, trace=self.control_trace)
         self.driver: Optional[LammpsDriver] = None
+        #: multi-tenant identity: the owning fleet (if any) and the tenant
+        #: name this pipeline runs under.  Set by the fleet builder; the
+        #: fleet-wide DST invariants key off ``fleet`` being non-None.
+        self.fleet = None
+        self.tenant: Optional[str] = None
         self.containers: Dict[str, Container] = {}
         self.managers: Dict[str, LocalManager] = {}
         self.global_manager: Optional[GlobalManager] = None
@@ -378,9 +388,13 @@ class PipelineBuilder:
         manager_lease_timeout: Optional[float] = None,
         backpressure=False,
         brownout=False,
+        tenant: Optional[str] = None,
     ):
         self.env = env
         self.workload = workload
+        #: fleet tenancy: prefixes this pipeline's machine partitions and
+        #: namespaces its scheduler occupancy counters as ``fleet.<tenant>.*``
+        self.tenant = tenant
         self.stages = stages if stages is not None else default_stages(workload)
         self.policy = policy or LatencyPolicy(overflow_occupancy=overflow_occupancy)
         self.machine = machine
@@ -435,14 +449,19 @@ class PipelineBuilder:
             env, num_nodes=self.num_sim_writers + wl.staging_nodes + 2
         )
         pipe.machine = machine
-        sim_part = machine.partition("sim", self.num_sim_writers)
-        staging = machine.partition("staging", wl.staging_nodes)
+        pipe.tenant = self.tenant
+        prefix = f"{self.tenant}:" if self.tenant else ""
+        sim_part = machine.partition(f"{prefix}sim", self.num_sim_writers)
+        staging = machine.partition(f"{prefix}staging", wl.staging_nodes)
 
         messenger = Messenger(env, machine.network)
         pipe.messenger = messenger
         fs = ParallelFileSystem(env)
         pipe.fs = fs
-        scheduler = BatchScheduler(env, staging, aprun=self.aprun)
+        scheduler = BatchScheduler(
+            env, staging, aprun=self.aprun,
+            label=f"fleet.{self.tenant}" if self.tenant else "cluster.scheduler",
+        )
         pipe.scheduler = scheduler
 
         import numpy as np
@@ -466,6 +485,8 @@ class PipelineBuilder:
             transaction_manager=self.transaction_manager,
             engine=pipe.control_plane,
         )
+        if self.tenant is not None:
+            gm.tenant = self.tenant
         pipe.global_manager = gm
 
         # Links: one per stage boundary, keyed by the consumer stage name.

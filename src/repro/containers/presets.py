@@ -1,0 +1,140 @@
+"""Shared pipeline presets: the one factory every consumer builds from.
+
+Before the fleet existed, ``repro.dst.presets``, ``repro.overload.scenario``,
+and ``repro.experiments.figures`` each constructed the Figure-7 / overload
+pipelines by hand — three slightly different copies of the same workload and
+builder configuration.  This module is the single source of truth: a preset
+is a keyword-overridable recipe producing a fully wired
+:class:`~repro.containers.pipeline.Pipeline`, and every override flows
+straight into :class:`~repro.containers.pipeline.PipelineBuilder`, so the
+fleet can build the same presets against a *shared* machine with per-tenant
+partitions (``machine=`` + ``tenant=``).
+
+The defaults here are load-bearing: the ``fig7`` recipe with no overrides is
+byte-identical to the historical ``smoke`` DST preset, so golden traces and
+the seeded DST sweeps are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.simkernel import Environment
+from repro.containers.pipeline import Pipeline, PipelineBuilder, StageConfig
+from repro.lammps.workload import WeakScalingWorkload
+from repro.smartpointer.costs import ComputeModel
+
+
+def make_workload(
+    sim_nodes: int = 256,
+    staging_nodes: int = 15,
+    spare: int = 2,
+    steps: int = 8,
+    output_interval: float = 15.0,
+) -> WeakScalingWorkload:
+    """The weak-scaling workload shared by every pipeline recipe."""
+    return WeakScalingWorkload(
+        sim_nodes=sim_nodes,
+        staging_nodes=staging_nodes,
+        spare_staging_nodes=spare,
+        output_interval=output_interval,
+        total_steps=steps,
+    )
+
+
+def build_fig7_pipeline(
+    env: Environment,
+    steps: int = 8,
+    seed: int = 1,
+    sim_nodes: int = 256,
+    staging_nodes: int = 15,
+    spare: int = 2,
+    **overrides,
+) -> Pipeline:
+    """The Figure-7 stage mix with fault tolerance on.
+
+    With no overrides this is exactly the historical DST ``smoke``
+    configuration: two spare staging nodes for the recovery ladder,
+    heartbeats every second, five-second leases.
+    """
+    wl = make_workload(sim_nodes=sim_nodes, staging_nodes=staging_nodes,
+                       spare=spare, steps=steps)
+    kwargs = dict(
+        seed=seed,
+        control_interval=30.0,
+        fault_tolerance=True,
+        heartbeat_interval=1.0,
+        lease_timeout=5.0,
+    )
+    kwargs.update(overrides)
+    return PipelineBuilder(env, wl, **kwargs).build()
+
+
+def build_overload_pipeline(
+    env: Environment,
+    steps: int = 16,
+    seed: int = 1,
+    managed: bool = True,
+    **overrides,
+) -> Pipeline:
+    """A Figure-7 pipeline with tight buffers, primed to wedge under a burst.
+
+    ``managed=False`` builds the unprotected baseline: no backpressure, no
+    brownout, and an effectively disabled control loop — the configuration
+    in which a burst blocks the producer for the rest of the run.
+    """
+    wl = make_workload(staging_nodes=15, spare=2, steps=steps)
+    num_writers = 4
+    kwargs = dict(
+        seed=seed,
+        num_sim_writers=num_writers,
+        monitor_interval=5.0,
+        # ~2 steps of headroom at the producer, ~3 at each stage writer:
+        # small enough that a burst fills them within the SLA horizon.
+        sim_buffer_bytes=2.2 * wl.bytes_per_step / num_writers,
+        stage_buffer_bytes=3.0 * wl.bytes_per_step,
+        fault_tolerance=True,
+        heartbeat_interval=1.0,
+        lease_timeout=5.0,
+    )
+    if managed:
+        kwargs.update(backpressure=True, brownout=True, control_interval=30.0)
+    else:
+        # No overload handling at all; the legacy policy loop is disabled
+        # too, so nothing reshapes the pipeline when the burst lands.
+        kwargs.update(control_interval=1e9)
+    kwargs.update(overrides)
+    return PipelineBuilder(env, wl, **kwargs).build()
+
+
+def build_s3d_pipeline(
+    env: Environment,
+    steps: int = 8,
+    seed: int = 0,
+    spare: int = 2,
+    **overrides,
+) -> Pipeline:
+    """The S3D flame-front stage set (reduce -> front -> track) under the
+    same management stack — the generality check the S3D bench runs."""
+    from repro.s3d.components import S3D_COMPONENTS
+
+    wl = make_workload(staging_nodes=9 + spare, spare=spare, steps=steps)
+    stages = [
+        StageConfig("reduce", 3, ComputeModel.TREE, upstream=None,
+                    component_spec=S3D_COMPONENTS["reduce"]),
+        StageConfig("front", 4, ComputeModel.ROUND_ROBIN, upstream="reduce",
+                    component_spec=S3D_COMPONENTS["front"]),
+        StageConfig("track", 2, ComputeModel.ROUND_ROBIN, upstream="front",
+                    component_spec=S3D_COMPONENTS["track"]),
+    ]
+    kwargs = dict(seed=seed, stages=stages)
+    kwargs.update(overrides)
+    return PipelineBuilder(env, wl, **kwargs).build()
+
+
+#: name -> recipe; the fleet builds mixed-tenant workloads from this table.
+PIPELINE_PRESETS: Dict[str, Callable[..., Pipeline]] = {
+    "fig7": build_fig7_pipeline,
+    "overload": build_overload_pipeline,
+    "s3d": build_s3d_pipeline,
+}

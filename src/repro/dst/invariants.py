@@ -292,6 +292,89 @@ class MonotonePerf(Invariant):
         return problems
 
 
+@register
+class NoCrossTenantNodeLeak(Invariant):
+    """Fleet-wide exclusivity: every staging node lives in exactly one
+    place — one tenant's pool or the arbiter's spare list — and each
+    tenant's free list stays inside its own pool.
+
+    No-op on single-pipeline runs (``pipe.fleet is None``): always-on, but
+    only a fleet has cross-tenant structure to leak across.
+    """
+
+    name = "no_cross_tenant_node_leak"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        fleet = getattr(pipe, "fleet", None)
+        if fleet is None:
+            return []
+        problems: List[str] = []
+        owner: Dict[int, str] = {}
+        for name in sorted(fleet.tenants):
+            sched = fleet.tenants[name].pipe.scheduler
+            pool_ids = set()
+            for node in sched.pool.nodes:
+                if node.node_id in owner:
+                    problems.append(
+                        f"node {node.node_id} in two tenant pools: "
+                        f"{owner[node.node_id]!r} and {name!r}"
+                    )
+                owner[node.node_id] = name
+                pool_ids.add(node.node_id)
+            stray = sorted(
+                {n.node_id for n in sched._free} - pool_ids
+            )
+            if stray:
+                problems.append(
+                    f"tenant {name!r} free list holds nodes outside its pool: {stray}"
+                )
+        for node in fleet.arbiter.spares:
+            if node.node_id in owner:
+                problems.append(
+                    f"node {node.node_id} both an arbiter spare and held by "
+                    f"{owner[node.node_id]!r}"
+                )
+        return problems
+
+
+@register
+class QuotaConservation(Invariant):
+    """Fleet-wide conservation: Σ tenant holdings + arbiter spares equals
+    the registered pool size, and no tenant exceeds its burst ceiling.
+
+    Two layers: the arbiter audits itself after *every* mutation (event
+    time) and parks failures in ``arbiter.violations``; this oracle drains
+    that list each sweep and re-checks the census independently (so a
+    mutation that bypassed the arbiter is still caught).  No-op without a
+    fleet.
+    """
+
+    name = "quota_conservation"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        fleet = getattr(pipe, "fleet", None)
+        if fleet is None:
+            return []
+        arbiter = fleet.arbiter
+        problems: List[str] = list(arbiter.violations)
+        total = len(arbiter.spares) + sum(
+            len(t.pipe.scheduler.pool.nodes) for t in fleet.tenants.values()
+        )
+        if total != arbiter._expected_total:
+            problems.append(
+                f"sweep census: holdings+spares = {total}, "
+                f"expected {arbiter._expected_total}"
+            )
+        for name in sorted(fleet.tenants):
+            quota = arbiter.tenants[name].quota
+            held = len(fleet.tenants[name].pipe.scheduler.pool.nodes)
+            if held > quota.burst:
+                problems.append(
+                    f"sweep census: tenant {name!r} holds {held} > burst {quota.burst}"
+                )
+        return problems
+
+
 class InvariantMonitor:
     """Periodically sweeps a set of invariant checkers over a pipeline.
 

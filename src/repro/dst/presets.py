@@ -13,8 +13,8 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.simkernel import Environment
-from repro.containers.pipeline import Pipeline, PipelineBuilder
-from repro.lammps.workload import WeakScalingWorkload
+from repro.containers.pipeline import Pipeline
+from repro.containers.presets import build_fig7_pipeline, build_overload_pipeline
 
 PresetFn = Callable[[Environment], Pipeline]
 
@@ -35,23 +35,7 @@ def preset(name: str):
 def smoke(env: Environment) -> Pipeline:
     """The CI scenario: Figure-7 stage mix at 8 timesteps, fault tolerance
     on, two spare staging nodes for the recovery ladder to draw from."""
-    wl = WeakScalingWorkload(
-        sim_nodes=256,
-        staging_nodes=15,
-        spare_staging_nodes=2,
-        output_interval=15.0,
-        total_steps=8,
-    )
-    builder = PipelineBuilder(
-        env,
-        wl,
-        seed=1,
-        control_interval=30.0,
-        fault_tolerance=True,
-        heartbeat_interval=1.0,
-        lease_timeout=5.0,
-    )
-    return builder.build()
+    return build_fig7_pipeline(env, steps=8, seed=1)
 
 
 @preset("overload")
@@ -59,10 +43,6 @@ def overload(env: Environment) -> Pipeline:
     """The overload scenario: tight staging buffers plus backpressure and
     the brownout ladder, driven against burst/ramp slowdown plans (see
     :func:`repro.overload.scenario.overload_burst_plan`)."""
-    # local import: repro.overload.scenario imports the pipeline module,
-    # so keep it out of this module's import graph until actually needed
-    from repro.overload.scenario import build_overload_pipeline
-
     return build_overload_pipeline(env, steps=12, managed=True)
 
 
@@ -70,20 +50,4 @@ def overload(env: Environment) -> Pipeline:
 def smoke_no_spares(env: Environment) -> Pipeline:
     """Same mix with an empty spare pool: replacement must steal capacity,
     exercising the GM_REPLACE abort/degrade and TRADE paths."""
-    wl = WeakScalingWorkload(
-        sim_nodes=256,
-        staging_nodes=13,
-        spare_staging_nodes=0,
-        output_interval=15.0,
-        total_steps=8,
-    )
-    builder = PipelineBuilder(
-        env,
-        wl,
-        seed=1,
-        control_interval=30.0,
-        fault_tolerance=True,
-        heartbeat_interval=1.0,
-        lease_timeout=5.0,
-    )
-    return builder.build()
+    return build_fig7_pipeline(env, steps=8, seed=1, staging_nodes=13, spare=0)

@@ -31,7 +31,10 @@ def main(argv=None) -> int:
                         help="number of schedule seeds to sweep (dst experiment)")
     parser.add_argument("--scenario", default=None,
                         help="pipeline preset for the dst experiment "
-                             "(smoke, overload, ...)")
+                             "(smoke, overload, fleet, ...)")
+    parser.add_argument("--tenants", type=int, default=None,
+                        help="tenant count for the fleet experiment and the "
+                             "fleet dst scenario")
     parser.add_argument("--json", metavar="PATH",
                         help="also write all results to a JSON file")
     parser.add_argument("--quiet", action="store_true",
@@ -50,6 +53,8 @@ def main(argv=None) -> int:
         kwargs["seeds"] = args.seeds
     if args.scenario is not None:
         kwargs["scenario"] = args.scenario
+    if args.tenants is not None:
+        kwargs["tenants"] = args.tenants
 
     results = {}
     for name in names:

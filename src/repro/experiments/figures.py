@@ -209,11 +209,11 @@ def run_fig6(ratios=((64, 2), (128, 4), (256, 4), (512, 4), (1024, 8), (2048, 8)
 def _run_pipeline(sim_nodes: int, staging_nodes: int, spare: int,
                   steps: int, seed: int, managed: bool = True,
                   **builder_kwargs) -> dict:
+    from repro.containers.presets import make_workload
+
     env = Environment()
-    wl = WeakScalingWorkload(
-        sim_nodes=sim_nodes, staging_nodes=staging_nodes,
-        spare_staging_nodes=spare, output_interval=15.0, total_steps=steps,
-    )
+    wl = make_workload(sim_nodes=sim_nodes, staging_nodes=staging_nodes,
+                       spare=spare, steps=steps)
     builder_kwargs.setdefault("control_interval", 30.0 if managed else 1e9)
     pipe = PipelineBuilder(env, wl, seed=seed, **builder_kwargs).build()
     finished = pipe.run(settle=300)
@@ -361,7 +361,8 @@ def run_overload(seed: int = 1, steps: int = 24, include_baseline: bool = True,
     return result
 
 
-def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke", **_) -> dict:
+def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke",
+            tenants: int = 4, **_) -> dict:
     """Deterministic simulation testing: sweep schedule seeds over the smoke
     scenario, checking every registered invariant on every interleaving.
 
@@ -369,11 +370,21 @@ def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke", **_) -> dict
     violation list, the event log, the greedily shrunk minimal fault plan,
     and the one-line repro command.  ``ok`` is False exactly when a
     violation was found (the CLI turns that into a nonzero exit).
+
+    ``--scenario fleet`` sweeps the multi-tenant fleet scenario instead:
+    ``tenants`` pipelines on one machine under the fleet arbiter, with the
+    two fleet-wide oracles (cross-tenant node leaks, quota conservation)
+    active alongside the standard catalogue.
     """
     from repro.dst import DSTScenario, explore, shrink
     from repro.dst.scenario import plan_for
 
-    sc = DSTScenario(name=scenario, preset=scenario, plan=plan_for(scenario))
+    if scenario == "fleet":
+        from repro.fleet import FleetDSTScenario
+
+        sc = FleetDSTScenario(tenants=tenants)
+    else:
+        sc = DSTScenario(name=scenario, preset=scenario, plan=plan_for(scenario))
     exploration = explore(sc, range(seed, seed + max(1, seeds)))
     failing = None if exploration.failure is None else exploration.failure.seed
     rows = [
@@ -397,6 +408,65 @@ def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke", **_) -> dict
     return result
 
 
+def run_fleet(seed: int = 1, tenants: int = 6, steps: int = 6, **_) -> dict:
+    """Multi-tenant fleet: N pipelines, one machine, one shared spare pool.
+
+    Builds the canonical mixed slate (tenant ``t00`` = tight-buffer
+    overload preset + seeded burst, lowest priority; the rest alternate
+    fig7/S3D), arms the merged machine-wide fault plan, and runs everything
+    in one simulation.  The acceptance property: every tenant finishes and
+    accounts for every timestep, t00 browns out (degradation steps > 0),
+    and *no other tenant* misses its SLA — tenant isolation under the
+    shared arbiter.
+    """
+    from repro.fleet import build_mixed_fleet, fleet_plan
+    from repro.simkernel import shuffle
+
+    env = Environment(tie_breaker=shuffle(seed))
+    fleet = build_mixed_fleet(env, tenants=tenants, steps=steps)
+    plan = fleet_plan(seed, fleet)
+    if plan.events:
+        fleet.arm_faults(plan)
+    finished = fleet.run(settle=240.0)
+    rows = fleet.summaries()
+    unaccounted = {}
+    for name, tenant in sorted(fleet.tenants.items()):
+        wl = tenant.pipe.driver.workload
+        delivered = {s for _, s, _ in tenant.pipe.end_to_end}
+        missing = (set(range(wl.total_steps)) - delivered
+                   - tenant.pipe.shed_ledger.steps())
+        if missing:
+            unaccounted[name] = sorted(missing)
+    victims = [t for t in fleet.tenants.values() if t.spec.overload_burst]
+    browned_out = bool(victims) and all(t.degradations() > 0 for t in victims)
+    others_met_sla = all(
+        t.sla_compliance() == 1.0
+        for t in fleet.tenants.values() if not t.spec.overload_burst
+    )
+    arbiter = fleet.arbiter
+    actions: Dict[str, int] = {}
+    for _, action, _, count in arbiter.trace:
+        actions[action] = actions.get(action, 0) + count
+    return {
+        "experiment": "fleet",
+        "tenants": tenants,
+        "steps": steps,
+        "ok": (all(finished.values()) and not unaccounted and browned_out
+               and others_met_sla and not arbiter.violations),
+        "rows": rows,
+        "unaccounted": unaccounted,
+        "overloaded_browned_out": browned_out,
+        "others_met_sla": others_met_sla,
+        "events_processed": int(getattr(env, "events_processed", 0)),
+        "arbiter": {
+            "actions": actions,
+            "trace": [[float(t), a, n, int(c)] for t, a, n, c in arbiter.trace],
+            "violations": list(arbiter.violations),
+        },
+        "plan_signature": plan.signature(),
+    }
+
+
 EXPERIMENTS: Dict[str, callable] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -410,6 +480,7 @@ EXPERIMENTS: Dict[str, callable] = {
     "fig10": run_fig10,
     "overload": run_overload,
     "dst": run_dst,
+    "fleet": run_fleet,
 }
 
 

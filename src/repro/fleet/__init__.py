@@ -1,0 +1,34 @@
+"""repro.fleet: thousands of tenant pipelines under one sharded GlobalManager.
+
+The paper manages one pipeline per GlobalManager.  This package scales the
+management architecture out: per-tenant GM shards on one shared machine,
+a thin :class:`~repro.fleet.arbiter.FleetArbiter` owning the shared spare
+pool under per-tenant :class:`~repro.fleet.quota.TenantQuota` policy, and
+a :class:`~repro.fleet.scenario.FleetDSTScenario` that sweeps the whole
+thing under seeded schedules and fault plans.
+"""
+
+from repro.fleet.arbiter import FleetArbiter
+from repro.fleet.fleet import (
+    Fleet,
+    Tenant,
+    TenantSpec,
+    build_fleet,
+    build_mixed_fleet,
+    mixed_specs,
+)
+from repro.fleet.quota import TenantQuota
+from repro.fleet.scenario import FleetDSTScenario, fleet_plan
+
+__all__ = [
+    "Fleet",
+    "FleetArbiter",
+    "FleetDSTScenario",
+    "Tenant",
+    "TenantQuota",
+    "TenantSpec",
+    "build_fleet",
+    "build_mixed_fleet",
+    "fleet_plan",
+    "mixed_specs",
+]

@@ -1,0 +1,258 @@
+"""The fleet arbiter: one shared spare pool, many tenant global managers.
+
+The paper's GlobalManager owns its pipeline's spare staging nodes outright.
+A fleet shards that: each tenant keeps its own GM and scheduler, and the
+spare pool moves up one level into a :class:`FleetArbiter` that every GM
+asks (synchronously, like its own scheduler) when the local free list runs
+dry.  Grants come from three sources, in order:
+
+1. the shared spare partition,
+2. *reclaims* — idle nodes the arbiter previously loaned to some other
+   tenant (fleet property, takes no priority to take back),
+3. *steals* — free nodes of a strictly lower-priority tenant, but never
+   below that tenant's :class:`~repro.fleet.quota.TenantQuota.reserved`
+   floor.
+
+Every mutation is followed by :meth:`_audit`, the event-time half of the
+``quota_conservation`` DST oracle: tenant holdings plus arbiter spares must
+equal the registered pool at *every* event, and no tenant may exceed its
+burst ceiling.  Problems accumulate in :attr:`violations`, which the
+invariant sweep drains into the DST report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.simkernel import Environment, Interrupt
+from repro.simkernel.errors import SimulationError
+from repro.cluster.node import Node
+from repro.cluster.scheduler import BatchScheduler
+from repro.fleet.quota import TenantQuota
+from repro.monitoring.metrics import Telemetry
+from repro.perf.registry import REGISTRY as PERF
+
+
+@dataclass
+class _TenantRecord:
+    """Arbiter-side bookkeeping for one registered tenant."""
+
+    gm: object
+    scheduler: BatchScheduler
+    quota: TenantQuota
+    c_grants: object
+    c_returns: object
+    c_denials: object
+    c_steals_from: object
+
+
+class FleetArbiter:
+    """Owns the shared spare pool; tenant GMs request/return nodes here.
+
+    All operations are synchronous in-memory state changes (the arbiter is
+    a peer of :class:`~repro.cluster.scheduler.BatchScheduler`, not a
+    message-protocol participant), so GM protocol rounds can call them
+    mid-round without yielding.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        spares: List[Node],
+        telemetry: Optional[Telemetry] = None,
+        rebalance_interval: float = 60.0,
+    ):
+        self.env = env
+        #: the shared pool; crashed spares stay listed (conservation) but
+        #: are never granted
+        self.spares: List[Node] = list(spares)
+        self.telemetry = telemetry or Telemetry()
+        self.rebalance_interval = rebalance_interval
+        self.tenants: Dict[str, _TenantRecord] = {}
+        #: (time, action, tenant, count) — the deterministic decision log
+        self.trace: List[Tuple] = []
+        #: event-time audit failures, drained by the quota_conservation oracle
+        self.violations: List[str] = []
+        self._expected_total = len(self.spares)
+        self._stopped = False
+        self._proc = None
+        if rebalance_interval and rebalance_interval > 0:
+            self._proc = env.process(self._rebalance_loop(), name="fleet-arbiter")
+
+    # -- registration ------------------------------------------------------------------
+
+    def register(self, tenant: str, gm, quota: TenantQuota) -> None:
+        """Wire a tenant GM into the arbiter and account its base pool."""
+        if tenant in self.tenants:
+            raise SimulationError(f"tenant {tenant!r} already registered")
+        gm.tenant = tenant
+        gm.arbiter = self
+        self.tenants[tenant] = _TenantRecord(
+            gm=gm,
+            scheduler=gm.scheduler,
+            quota=quota,
+            c_grants=PERF.handle(f"fleet.{tenant}.grants"),
+            c_returns=PERF.handle(f"fleet.{tenant}.returns"),
+            c_denials=PERF.handle(f"fleet.{tenant}.denials"),
+            c_steals_from=PERF.handle(f"fleet.{tenant}.stolen_from"),
+        )
+        self._expected_total += len(gm.scheduler.pool.nodes)
+
+    # -- inventory ---------------------------------------------------------------------
+
+    def holdings(self, tenant: str) -> int:
+        """Nodes currently in the tenant's pool (crashed ones included —
+        they are quarantined capacity, not returned capacity)."""
+        return len(self.tenants[tenant].scheduler.pool.nodes)
+
+    def live_spares(self) -> int:
+        return sum(1 for n in self.spares if not n.failed)
+
+    def available_to(self, tenant: str) -> int:
+        """How many nodes a ``request`` by this tenant could grant right now."""
+        rec = self.tenants[tenant]
+        headroom = rec.quota.burst - self.holdings(tenant)
+        if headroom <= 0:
+            return 0
+        supply = self.live_spares()
+        for other in sorted(self.tenants):
+            if other == tenant:
+                continue
+            orec = self.tenants[other]
+            idle_loaned = len(orec.scheduler.free_borrowed())
+            supply += idle_loaned
+            if orec.quota.priority < rec.quota.priority:
+                surplus = self.holdings(other) - idle_loaned - orec.quota.reserved
+                own_free = orec.scheduler.free_nodes - idle_loaned
+                supply += max(0, min(surplus, own_free))
+        return min(headroom, supply)
+
+    # -- the request/return protocol ---------------------------------------------------
+
+    def request(self, tenant: str, count: int) -> List[Node]:
+        """Grant up to ``count`` nodes to ``tenant``; returns those adopted.
+
+        The grant is capped by the tenant's burst headroom, then filled
+        from spares, reclaims, and priority steals (in that order, each in
+        deterministic tenant-name/priority order).  A shortfall is recorded
+        as a denial; the caller degrades instead.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        rec = self.tenants[tenant]
+        want = min(count, max(0, rec.quota.burst - self.holdings(tenant)))
+        granted: List[Node] = []
+        # 1) the shared spare pool
+        while len(granted) < want:
+            node = next((n for n in self.spares if not n.failed), None)
+            if node is None:
+                break
+            self.spares.remove(node)
+            granted.append(node)
+        # 2) reclaim idle loans from other tenants — fleet property already
+        if len(granted) < want:
+            for other in sorted(self.tenants):
+                if other == tenant:
+                    continue
+                osched = self.tenants[other].scheduler
+                for node in osched.free_borrowed():
+                    if len(granted) >= want:
+                        break
+                    osched.expel([node])
+                    granted.append(node)
+                    self._note("reclaim", other, 1)
+        # 3) steal from strictly-lower-priority tenants, floor-respecting
+        if len(granted) < want:
+            victims = sorted(
+                (o for o in self.tenants
+                 if o != tenant
+                 and self.tenants[o].quota.priority < rec.quota.priority),
+                key=lambda o: (self.tenants[o].quota.priority, o),
+            )
+            for other in victims:
+                orec = self.tenants[other]
+                osched = orec.scheduler
+                while len(granted) < want:
+                    if self.holdings(other) <= orec.quota.reserved:
+                        break
+                    candidates = [
+                        n for n in osched.peek_free()
+                        if not osched.is_borrowed(n) and not n.failed
+                    ]
+                    if not candidates:
+                        break
+                    osched.expel([candidates[0]])
+                    granted.append(candidates[0])
+                    orec.c_steals_from.add(1)
+                    self._note("steal", other, 1)
+        if granted:
+            rec.scheduler.adopt(granted)
+            rec.c_grants.add(len(granted))
+            self._note("grant", tenant, len(granted))
+        shortfall = count - len(granted)
+        if shortfall > 0:
+            rec.c_denials.add(1)
+            self._note("deny", tenant, shortfall)
+        self._audit()
+        return granted
+
+    def give_back(self, tenant: str, nodes: List[Node]) -> None:
+        """A tenant returns loaned nodes (abort paths, rebalance) to spares."""
+        if not nodes:
+            return
+        rec = self.tenants[tenant]
+        rec.scheduler.expel(nodes)
+        self.spares.extend(nodes)
+        rec.c_returns.add(len(nodes))
+        self._note("return", tenant, len(nodes))
+        self._audit()
+
+    # -- background rebalance ----------------------------------------------------------
+
+    def _rebalance_loop(self):
+        """Periodically sweep idle loaned nodes back into the spare pool, so
+        a burst's borrowed capacity is available to the next tenant in need."""
+        while True:
+            try:
+                yield self.env.timeout(self.rebalance_interval)
+            except Interrupt:
+                return
+            if self._stopped:
+                return
+            for tenant in sorted(self.tenants):
+                sched = self.tenants[tenant].scheduler
+                idle = sched.free_borrowed()
+                if idle:
+                    self.give_back(tenant, idle)
+
+    # -- audit -------------------------------------------------------------------------
+
+    def _audit(self) -> None:
+        """Event-time conservation: Σ holdings + spares == registered pool,
+        and nobody above burst.  Runs after every mutation."""
+        total = len(self.spares) + sum(
+            len(r.scheduler.pool.nodes) for r in self.tenants.values()
+        )
+        if total != self._expected_total:
+            self.violations.append(
+                f"t={self.env.now:.1f}: holdings+spares = {total}, "
+                f"expected {self._expected_total}"
+            )
+        for tenant in sorted(self.tenants):
+            rec = self.tenants[tenant]
+            held = len(rec.scheduler.pool.nodes)
+            if held > rec.quota.burst:
+                self.violations.append(
+                    f"t={self.env.now:.1f}: tenant {tenant!r} holds {held} "
+                    f"> burst {rec.quota.burst}"
+                )
+
+    def _note(self, action: str, tenant: str, count: int) -> None:
+        self.trace.append((self.env.now, action, tenant, count))
+        self.telemetry.mark(self.env.now, f"arbiter {action} {tenant} x{count}")
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")

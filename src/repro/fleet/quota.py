@@ -1,0 +1,36 @@
+"""Per-tenant resource quotas for the fleet arbiter.
+
+A :class:`TenantQuota` bounds one tenant's staging-node holdings from both
+sides.  ``reserved`` is the floor no steal may push the tenant below — a
+tenant always keeps enough capacity to run its essential stages.
+``burst`` is the ceiling the arbiter will grow the tenant to when spare
+capacity exists; borrowing above it is denied even if the shared pool is
+idle.  ``priority`` orders cross-tenant stealing: the arbiter moves free
+nodes only from a *strictly lower* priority tenant to a higher one, so
+equal-priority tenants can never raid each other and the deliberately
+overloaded tenant of the fleet scenario (lowest priority) degrades alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Floor, ceiling, and steal class of one tenant's node holdings."""
+
+    #: holdings may never be stolen below this many nodes
+    reserved: int
+    #: the arbiter will never grow holdings beyond this many nodes
+    burst: int
+    #: steal class: nodes move only from strictly lower to higher priority
+    priority: int = 1
+
+    def __post_init__(self):
+        if self.reserved < 0:
+            raise ValueError(f"reserved must be >= 0, got {self.reserved}")
+        if self.burst < self.reserved:
+            raise ValueError(
+                f"burst ({self.burst}) must be >= reserved ({self.reserved})"
+            )

@@ -263,7 +263,9 @@ class BrownoutController:
             if not s.offline and s.active and s.units > 0
         }
         worst_state = online.get(worst)
-        free = gm.scheduler.free_nodes
+        # Spare capacity includes what the fleet arbiter would grant: in a
+        # fleet, rung 1 borrows shared spares before the ladder escalates.
+        free = gm.spare_capacity()
         # Rung 1: grow the bottleneck from the spare pool.
         if worst_state is not None and free > 0 and (worst_state.shortfall or 0) > 0:
             return {"kind": "increase", "name": worst,
@@ -339,6 +341,8 @@ class BrownoutController:
             self.env.now, f"brownout escalate L{level}: {action['kind']}"
         )
         REGISTRY.count("overload.escalations")
+        if self.gm.arbiter is not None:
+            REGISTRY.count(f"fleet.{self.gm.tenant}.escalations")
         ctx.result = {"action": action, "level": level}
 
     # -- recovery protocol rounds -----------------------------------------------------
@@ -385,4 +389,6 @@ class BrownoutController:
             self.env.now, f"brownout recover L{level}: undo {entry[0]}"
         )
         REGISTRY.count("overload.recoveries")
+        if self.gm.arbiter is not None:
+            REGISTRY.count(f"fleet.{self.gm.tenant}.recoveries")
         ctx.result = {"undone": entry[0], "level": level}

@@ -18,53 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.simkernel import Environment
-from repro.containers.pipeline import Pipeline, PipelineBuilder
+from repro.containers.pipeline import Pipeline
+from repro.containers.presets import build_overload_pipeline
 from repro.faults.plan import FaultPlan
-from repro.lammps.workload import WeakScalingWorkload
 
-
-def build_overload_pipeline(
-    env: Environment,
-    steps: int = 16,
-    seed: int = 1,
-    managed: bool = True,
-    **overrides,
-) -> Pipeline:
-    """A Figure-7 pipeline with tight buffers, primed to wedge under a burst.
-
-    ``managed=False`` builds the unprotected baseline: no backpressure, no
-    brownout, and an effectively disabled control loop — the configuration
-    in which a burst blocks the producer for the rest of the run.
-    """
-    wl = WeakScalingWorkload(
-        sim_nodes=256,
-        staging_nodes=15,
-        spare_staging_nodes=2,
-        output_interval=15.0,
-        total_steps=steps,
-    )
-    num_writers = 4
-    kwargs = dict(
-        seed=seed,
-        num_sim_writers=num_writers,
-        monitor_interval=5.0,
-        # ~2 steps of headroom at the producer, ~3 at each stage writer:
-        # small enough that a burst fills them within the SLA horizon.
-        sim_buffer_bytes=2.2 * wl.bytes_per_step / num_writers,
-        stage_buffer_bytes=3.0 * wl.bytes_per_step,
-        fault_tolerance=True,
-        heartbeat_interval=1.0,
-        lease_timeout=5.0,
-    )
-    if managed:
-        kwargs.update(backpressure=True, brownout=True, control_interval=30.0)
-    else:
-        # No overload handling at all; the legacy policy loop is disabled
-        # too, so nothing reshapes the pipeline when the burst lands.
-        kwargs.update(control_interval=1e9)
-    kwargs.update(overrides)
-    return PipelineBuilder(env, wl, **kwargs).build()
+__all__ = ["build_overload_pipeline", "overload_burst_plan"]
 
 
 def overload_burst_plan(seed: int, pipe: Pipeline) -> FaultPlan:

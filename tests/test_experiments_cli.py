@@ -13,7 +13,7 @@ class TestRunners:
     def test_registry_covers_every_table_and_figure(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "overload", "dst",
+            "fig7", "fig8", "fig9", "fig10", "overload", "dst", "fleet",
         }
 
     def test_unknown_experiment_rejected(self):

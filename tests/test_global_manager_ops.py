@@ -119,6 +119,90 @@ class TestDependencyGraph:
         assert pipe.scheduler.free_nodes == 3  # csym's allocation
 
 
+class TestArbiterBackedGM:
+    """The GM's fleet face: borrowing from (and returning loans to) a
+    FleetArbiter when the tenant's own spare pool runs dry."""
+
+    @staticmethod
+    def wire(env, pipe, spares=2):
+        from repro.cluster import Machine
+        from repro.fleet import FleetArbiter, TenantQuota
+
+        m = Machine(env, num_nodes=spares)
+        arb = FleetArbiter(env, list(m.partition("spares", spares).nodes),
+                           rebalance_interval=0)
+        base = len(pipe.scheduler.pool.nodes)
+        arb.register("tA", pipe.global_manager,
+                     TenantQuota(reserved=base, burst=base + spares))
+        return arb
+
+    def test_spare_capacity_includes_arbiter_supply(self):
+        env = Environment()
+        pipe = build(env, spare=1)
+        arb = self.wire(env, pipe, spares=2)
+        assert pipe.global_manager.spare_capacity() == 3
+        assert arb.available_to("tA") == 2
+        pipe.global_manager.stop()
+
+    def test_increase_borrows_from_arbiter_when_dry(self):
+        env = Environment()
+        pipe = build(env, spare=0)
+        arb = self.wire(env, pipe)
+
+        def ctl(env):
+            yield env.timeout(1)
+            yield pipe.global_manager.increase("bonds", 1)
+
+        env.process(ctl(env))
+        pipe.run(settle=60)
+        assert pipe.containers["bonds"].units == 5
+        sched = pipe.scheduler
+        assert any(sched.is_borrowed(n) for n in sched.pool.nodes)
+        assert [t for t in arb.trace if t[1] == "grant"]
+        assert arb.violations == []
+
+    def test_aborted_increase_returns_loan_to_arbiter(self):
+        """An aborted grow must not convert a loan into a tenant hold: the
+        surviving borrowed node goes back to the *arbiter's* spare pool,
+        while the dead one is quarantined with the tenant that holds it."""
+        env = Environment()
+        pipe = build(env, spare=0)
+        arb = self.wire(env, pipe)
+        gm = pipe.global_manager
+        out = {}
+
+        def ctl(env):
+            yield env.timeout(1)
+            granted = arb.request("tA", 2)
+            granted[0].fail()  # dies between the grant and the increase
+            out["result"] = yield gm.increase("bonds", 2, nodes=granted)
+            out["granted"] = granted
+
+        env.process(ctl(env))
+        pipe.run(settle=60)
+        assert out["result"]["aborted"]
+        dead, alive = out["granted"]
+        assert alive in arb.spares
+        assert alive not in pipe.scheduler.pool.nodes
+        assert alive not in pipe.scheduler._free
+        assert dead in pipe.scheduler.pool.nodes  # quarantined, not returned
+        assert arb.violations == []
+
+    def test_increase_beyond_arbiter_supply_still_raises(self):
+        env = Environment()
+        pipe = build(env, spare=0)
+        arb = self.wire(env, pipe, spares=1)
+
+        def ctl(env):
+            yield env.timeout(1)
+            yield pipe.global_manager.increase("bonds", 3)
+
+        env.process(ctl(env))
+        with pytest.raises(SimulationError, match="spare"):
+            pipe.run(settle=60)
+        assert [t for t in arb.trace if t[1] == "deny"]
+
+
 class TestSchedulerSpecificAllocation:
     def test_allocate_specific_claims_exact_nodes(self, env):
         from repro.cluster import BatchScheduler, Machine
