@@ -18,6 +18,16 @@ Quickstart::
     pipe = PipelineBuilder(env, workload).build()
     pipe.run()
     print(pipe.global_manager.actions_taken)
+
+or, declaratively, from a validated pipeline spec (see ``repro.spec``)::
+
+    from repro.simkernel import Environment
+    from repro.spec import load_preset
+    from repro.spec.build import build
+
+    env = Environment()
+    pipe = build(env, load_preset("fig7"))
+    pipe.run()
 """
 
 from repro.simkernel import Environment

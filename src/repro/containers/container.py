@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Callable, List, Optional
 
 from repro.simkernel import Environment
@@ -266,7 +267,16 @@ class Container:
 
     def _emit_links(self, chunk: DataChunk, replica, targets):
         def gen():
-            writes = [replica.writers[link.name].write(chunk) for link in targets]
+            writes = []
+            for i, link in enumerate(targets):
+                # Fan-out: every link past the first gets its own copy (same
+                # chunk_id — custody and dedup are per-link).  Readers mutate
+                # per-consumer state on the chunk (``sources``,
+                # ``entered_stage_at``); sharing one object across links lets
+                # one consumer's pull clobber another's custody trail, which
+                # ends in a wrong-writer ack and a redelivery duplicate.
+                out = chunk if i == 0 else dataclasses.replace(chunk, sources=[])
+                writes.append(replica.writers[link.name].write(out))
             yield self.env.all_of(writes)
         return gen()
 

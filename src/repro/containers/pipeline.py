@@ -115,6 +115,10 @@ class Pipeline:
         self.fault_injector = None
         self.branch_fired = False
         self.end_to_end: List[tuple] = []  # (exit_time, timestep, latency)
+        #: which sink recorded each exit — (exit_time, sink_name, timestep).
+        #: A fan-out topology has several sinks, each delivering the full
+        #: stream once; exactly-once is per (sink, timestep) pair.
+        self.exit_log: List[tuple] = []
         #: overload accounting: every deliberate drop is a ShedRecord, and
         #: records for already-delivered timesteps are suppressed
         self._exited_steps: set = set()
@@ -203,11 +207,12 @@ class Pipeline:
         series = self.telemetry.get(container, "step_latency")
         return ([], []) if series is None else (series.times, series.values)
 
-    def record_exit(self, chunk) -> None:
+    def record_exit(self, chunk, sink: str = "pipeline") -> None:
         latency = self.env.now - chunk.created_at
         PERF.count("pipeline.exits")
         self._exited_steps.add(chunk.timestep)
         self.end_to_end.append((self.env.now, chunk.timestep, latency))
+        self.exit_log.append((self.env.now, sink, chunk.timestep))
         self.telemetry.record("pipeline", "end_to_end", self.env.now, latency)
         self.telemetry.record("pipeline", "end_to_end_by_step", chunk.timestep, latency)
 
@@ -326,7 +331,7 @@ class Pipeline:
             # Pipeline exit: a sink stage, or a stage whose downstream was
             # pruned (its output goes to disk).
             if container.output_link is None or container.offline_downstream():
-                self.record_exit(out_chunk)
+                self.record_exit(out_chunk, sink=name)
             # Dynamic branch: CSym sees the crack marker.
             if (
                 name == "csym"
@@ -589,6 +594,9 @@ class PipelineBuilder:
                 messenger,
                 spec,
                 stage.model,
+                # the *stage* name, not spec.name: several stages may run the
+                # same component, and managers/recovery key on this
+                name=name,
                 input_link=links[name],
                 output_links=output_links,
                 queue_capacity=stage.queue_capacity,

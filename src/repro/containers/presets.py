@@ -1,28 +1,30 @@
-"""Shared pipeline presets: the one factory every consumer builds from.
+"""Shared pipeline presets, backed by the bundled spec library.
 
 Before the fleet existed, ``repro.dst.presets``, ``repro.overload.scenario``,
 and ``repro.experiments.figures`` each constructed the Figure-7 / overload
 pipelines by hand — three slightly different copies of the same workload and
-builder configuration.  This module is the single source of truth: a preset
-is a keyword-overridable recipe producing a fully wired
-:class:`~repro.containers.pipeline.Pipeline`, and every override flows
-straight into :class:`~repro.containers.pipeline.PipelineBuilder`, so the
-fleet can build the same presets against a *shared* machine with per-tenant
-partitions (``machine=`` + ``tenant=``).
+builder configuration.  These recipes are now thin wrappers over
+:mod:`repro.spec`: each loads its bundled spec (``repro/spec/bundled/*.yaml``),
+overlays the caller's workload/seed arguments, and compiles it through
+:func:`repro.spec.build.build`.  Keyword overrides still flow straight into
+:class:`~repro.containers.pipeline.PipelineBuilder`, so the fleet can build
+the same presets against a *shared* machine with per-tenant partitions
+(``machine=`` + ``tenant=``).
 
-The defaults here are load-bearing: the ``fig7`` recipe with no overrides is
+The bundled defaults are load-bearing: the ``fig7`` spec with no overrides is
 byte-identical to the historical ``smoke`` DST preset, so golden traces and
 the seeded DST sweeps are unchanged.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict
 
 from repro.simkernel import Environment
-from repro.containers.pipeline import Pipeline, PipelineBuilder, StageConfig
+from repro.containers.pipeline import Pipeline
 from repro.lammps.workload import WeakScalingWorkload
-from repro.smartpointer.costs import ComputeModel
+from repro.spec.build import build as build_spec, load_preset
 
 
 def make_workload(
@@ -57,17 +59,12 @@ def build_fig7_pipeline(
     configuration: two spare staging nodes for the recovery ladder,
     heartbeats every second, five-second leases.
     """
-    wl = make_workload(sim_nodes=sim_nodes, staging_nodes=staging_nodes,
-                       spare=spare, steps=steps)
-    kwargs = dict(
-        seed=seed,
-        control_interval=30.0,
-        fault_tolerance=True,
-        heartbeat_interval=1.0,
-        lease_timeout=5.0,
+    spec = load_preset("fig7").override(
+        workload=dict(sim_nodes=sim_nodes, staging_nodes=staging_nodes,
+                      spare=spare, steps=steps),
+        builder=dict(seed=seed),
     )
-    kwargs.update(overrides)
-    return PipelineBuilder(env, wl, **kwargs).build()
+    return build_spec(env, spec, **overrides)
 
 
 def build_overload_pipeline(
@@ -75,6 +72,7 @@ def build_overload_pipeline(
     steps: int = 16,
     seed: int = 1,
     managed: bool = True,
+    allow_resize: bool = False,
     **overrides,
 ) -> Pipeline:
     """A Figure-7 pipeline with tight buffers, primed to wedge under a burst.
@@ -82,29 +80,33 @@ def build_overload_pipeline(
     ``managed=False`` builds the unprotected baseline: no backpressure, no
     brownout, and an effectively disabled control loop — the configuration
     in which a burst blocks the producer for the rest of the run.
+
+    The tight ``sim_buffer_bytes``/``stage_buffer_bytes`` are this preset's
+    point: overriding them silently turns the overload scenario into a
+    different experiment.  Pass ``allow_resize=True`` to do it deliberately.
     """
-    wl = make_workload(staging_nodes=15, spare=2, steps=steps)
-    num_writers = 4
-    kwargs = dict(
-        seed=seed,
-        num_sim_writers=num_writers,
-        monitor_interval=5.0,
-        # ~2 steps of headroom at the producer, ~3 at each stage writer:
-        # small enough that a burst fills them within the SLA horizon.
-        sim_buffer_bytes=2.2 * wl.bytes_per_step / num_writers,
-        stage_buffer_bytes=3.0 * wl.bytes_per_step,
-        fault_tolerance=True,
-        heartbeat_interval=1.0,
-        lease_timeout=5.0,
+    resized = sorted(
+        k for k in ("sim_buffer_bytes", "stage_buffer_bytes") if k in overrides
     )
-    if managed:
-        kwargs.update(backpressure=True, brownout=True, control_interval=30.0)
-    else:
+    if resized and not allow_resize:
+        warnings.warn(
+            f"build_overload_pipeline: overriding {resized} replaces the "
+            f"deliberately tight buffers this preset exists to test; pass "
+            f"allow_resize=True if that is intended",
+            stacklevel=2,
+        )
+    spec = load_preset("overload").override(
+        workload=dict(steps=steps),
+        builder=dict(seed=seed),
+    )
+    if not managed:
         # No overload handling at all; the legacy policy loop is disabled
         # too, so nothing reshapes the pipeline when the burst lands.
-        kwargs.update(control_interval=1e9)
-    kwargs.update(overrides)
-    return PipelineBuilder(env, wl, **kwargs).build()
+        spec = spec.override(
+            builder=dict(control_interval=1e9),
+            drop_builder=("backpressure", "brownout"),
+        )
+    return build_spec(env, spec, **overrides)
 
 
 def build_s3d_pipeline(
@@ -116,23 +118,16 @@ def build_s3d_pipeline(
 ) -> Pipeline:
     """The S3D flame-front stage set (reduce -> front -> track) under the
     same management stack — the generality check the S3D bench runs."""
-    from repro.s3d.components import S3D_COMPONENTS
-
-    wl = make_workload(staging_nodes=9 + spare, spare=spare, steps=steps)
-    stages = [
-        StageConfig("reduce", 3, ComputeModel.TREE, upstream=None,
-                    component_spec=S3D_COMPONENTS["reduce"]),
-        StageConfig("front", 4, ComputeModel.ROUND_ROBIN, upstream="reduce",
-                    component_spec=S3D_COMPONENTS["front"]),
-        StageConfig("track", 2, ComputeModel.ROUND_ROBIN, upstream="front",
-                    component_spec=S3D_COMPONENTS["track"]),
-    ]
-    kwargs = dict(seed=seed, stages=stages)
-    kwargs.update(overrides)
-    return PipelineBuilder(env, wl, **kwargs).build()
+    spec = load_preset("s3d").override(
+        workload=dict(staging_nodes=9 + spare, spare=spare, steps=steps),
+        builder=dict(seed=seed),
+    )
+    return build_spec(env, spec, **overrides)
 
 
 #: name -> recipe; the fleet builds mixed-tenant workloads from this table.
+#: Each recipe is backed by the bundled spec of the same name
+#: (``repro/spec/bundled/<name>.yaml``).
 PIPELINE_PRESETS: Dict[str, Callable[..., Pipeline]] = {
     "fig7": build_fig7_pipeline,
     "overload": build_overload_pipeline,

@@ -122,8 +122,15 @@ class ExactlyOnceDelivery(Invariant):
     def check(self, pipe, final: bool) -> List[str]:
         exits = [step for _, step, _ in pipe.end_to_end]
         problems: List[str] = []
-        if len(exits) != len(set(exits)):
-            dupes = sorted({s for s in exits if exits.count(s) > 1})
+        # A fan-out topology has several sink stages, each owed the full
+        # stream once — duplicates are per (sink, timestep), not per step.
+        exit_log = getattr(pipe, "exit_log", None)
+        pairs = (
+            [(sink, step) for _, sink, step in exit_log]
+            if exit_log is not None else [(None, s) for s in exits]
+        )
+        if len(pairs) != len(set(pairs)):
+            dupes = sorted({p[1] for p in pairs if pairs.count(p) > 1})
             problems.append(f"timesteps delivered more than once: {dupes}")
         if final and self._finished and pipe.driver is not None:
             expected = pipe.driver.workload.total_steps

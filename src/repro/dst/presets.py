@@ -4,8 +4,9 @@ A preset is a zero-argument recipe producing a fully wired
 :class:`~repro.containers.pipeline.Pipeline` on a given
 :class:`~repro.simkernel.Environment` — the fixed half of a
 :class:`~repro.dst.scenario.DSTScenario` (the variable half being the
-fault plan and the schedule seed).  Keeping presets tiny keeps a sweep
-of 20 seeds affordable in CI.
+fault plan and the schedule seed).  Each recipe is an overlay on a
+bundled spec from :mod:`repro.spec` — the DST presets *are* specs, just
+resized to keep a sweep of 20 seeds affordable in CI.
 """
 
 from __future__ import annotations
@@ -14,7 +15,7 @@ from typing import Callable, Dict
 
 from repro.simkernel import Environment
 from repro.containers.pipeline import Pipeline
-from repro.containers.presets import build_fig7_pipeline, build_overload_pipeline
+from repro.spec.build import build, load_preset
 
 PresetFn = Callable[[Environment], Pipeline]
 
@@ -35,7 +36,7 @@ def preset(name: str):
 def smoke(env: Environment) -> Pipeline:
     """The CI scenario: Figure-7 stage mix at 8 timesteps, fault tolerance
     on, two spare staging nodes for the recovery ladder to draw from."""
-    return build_fig7_pipeline(env, steps=8, seed=1)
+    return build(env, load_preset("fig7"))
 
 
 @preset("overload")
@@ -43,11 +44,16 @@ def overload(env: Environment) -> Pipeline:
     """The overload scenario: tight staging buffers plus backpressure and
     the brownout ladder, driven against burst/ramp slowdown plans (see
     :func:`repro.overload.scenario.overload_burst_plan`)."""
-    return build_overload_pipeline(env, steps=12, managed=True)
+    return build(env, load_preset("overload").override(workload=dict(steps=12)))
 
 
 @preset("smoke_no_spares")
 def smoke_no_spares(env: Environment) -> Pipeline:
     """Same mix with an empty spare pool: replacement must steal capacity,
     exercising the GM_REPLACE abort/degrade and TRADE paths."""
-    return build_fig7_pipeline(env, steps=8, seed=1, staging_nodes=13, spare=0)
+    return build(
+        env,
+        load_preset("fig7").override(
+            workload=dict(staging_nodes=13, spare=0)
+        ),
+    )

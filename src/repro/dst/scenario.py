@@ -19,10 +19,12 @@ from repro.containers.pipeline import Pipeline
 from repro.faults.plan import FaultPlan
 from repro.dst.invariants import InvariantMonitor, Violation
 from repro.dst.presets import PRESETS
+from repro.spec.build import register_fault_recipe
 
 PlanFactory = Callable[[int, Pipeline], FaultPlan]
 
 
+@register_fault_recipe("smoke")
 def default_smoke_plan(seed: int, pipe: Pipeline) -> FaultPlan:
     """One mid-run crash of a non-essential replica plus one slowdown.
 
@@ -165,8 +167,12 @@ class DSTScenario:
             plan_signature=plan.signature() if plan is not None else None,
             plan_events=plan.as_dicts() if plan is not None else [],
             event_log=self._event_log(pipe),
-            repro=repro_command(seed, self.preset),
+            repro=self._repro(seed),
         )
+
+    def _repro(self, seed: Optional[int]) -> str:
+        """The replay one-liner; subclasses extend it with their own flags."""
+        return repro_command(seed, self.preset)
 
     def _drain(self, pipe: Pipeline) -> None:
         """Run on (bounded) until every timestep has exited the pipeline.

@@ -23,7 +23,7 @@ def main(argv=None) -> int:
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
-        "experiments", nargs="+",
+        "experiments", nargs="*",
         help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
     )
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
@@ -35,13 +35,32 @@ def main(argv=None) -> int:
     parser.add_argument("--tenants", type=int, default=None,
                         help="tenant count for the fleet experiment and the "
                              "fleet dst scenario")
+    parser.add_argument("--spec", metavar="PATH", default=None,
+                        help="pipeline spec YAML: the dst experiment sweeps "
+                             "it, the specs experiment validates it")
+    parser.add_argument("--list-presets", action="store_true",
+                        help="list the bundled pipeline specs and exit")
     parser.add_argument("--json", metavar="PATH",
                         help="also write all results to a JSON file")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress terminal rendering")
     args = parser.parse_args(argv)
 
+    if args.list_presets:
+        from repro.spec.build import bundled_spec_names, load_preset
+
+        for name in bundled_spec_names():
+            spec = load_preset(name)
+            wl = spec.workload
+            shape = ("default stage mix" if spec.stages is None
+                     else f"{len(spec.stages)} stages")
+            print(f"{name}: {wl.sim_nodes} sim + {wl.staging_nodes} staging "
+                  f"({wl.spare} spare), {wl.steps} steps, {shape}")
+        return 0
+
     names = list(args.experiments)
+    if not names:
+        parser.error("no experiments given")
     if names == ["all"]:
         names = sorted(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -55,6 +74,8 @@ def main(argv=None) -> int:
         kwargs["scenario"] = args.scenario
     if args.tenants is not None:
         kwargs["tenants"] = args.tenants
+    if args.spec is not None:
+        kwargs["spec"] = args.spec
 
     results = {}
     for name in names:

@@ -14,12 +14,32 @@ import numpy as np
 
 from repro.simkernel import Environment
 from repro.cluster import redsky
-from repro.containers.pipeline import PipelineBuilder, StageConfig
 from repro.evpath import Messenger
 from repro.lammps.workload import TABLE_II, WeakScalingWorkload
 from repro.smartpointer.component import SMARTPOINTER_COMPONENTS
-from repro.smartpointer.costs import ComputeModel
+from repro.spec import PipelineSpec, StageSpec, WorkloadSpec
+from repro.spec.build import build as build_spec
+from repro.spec.model import BUILDER_KEYS
 from repro.transactions import TransactionManager
+
+
+def _build(name: str, workload: WorkloadSpec, seed: int,
+           stages=None, **builder_kwargs):
+    """One programmatic spec -> pipeline, for the figure micro-configs.
+
+    Builder keys land in the spec's declarative block (validated); anything
+    else is a runtime-only override forwarded to the compiler.  These specs
+    deliberately leave fault tolerance off — the control-protocol figures
+    measure the management plane, not the recovery ladder.
+    """
+    env = Environment()
+    builder = {"seed": seed}
+    runtime = {}
+    for key, value in builder_kwargs.items():
+        (builder if key in BUILDER_KEYS else runtime)[key] = value
+    spec = PipelineSpec(name=name, workload=workload, stages=stages,
+                        builder=builder)
+    return env, build_spec(env, spec, **runtime)
 
 
 def _series(pipe, scope: str, metric: str) -> List[List[float]]:
@@ -75,11 +95,11 @@ def run_fig3(seed: int = 0, **_) -> dict:
     count, plus the full per-protocol traces (labels, charged categories,
     abort/compensation info) for JSON output.
     """
-    env = Environment()
-    wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=15,
-                             spare_staging_nodes=2,
-                             output_interval=15.0, total_steps=8)
-    pipe = PipelineBuilder(env, wl, seed=seed, control_interval=10_000).build()
+    env, pipe = _build(
+        "fig3",
+        WorkloadSpec(sim_nodes=256, staging_nodes=15, spare=2, steps=8),
+        seed, control_interval=10_000,
+    )
     gm = pipe.global_manager
 
     def do(env):
@@ -116,16 +136,17 @@ def run_fig4(sizes=(1, 2, 4, 8, 16), seed: int = 0, **_) -> dict:
     """Figure 4: time to increase container size (aprun factored out)."""
     series = []
     for size in sizes:
-        env = Environment()
-        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=13 + max(sizes),
-                                 output_interval=15.0, total_steps=4)
-        stages = [
-            StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
-            StageConfig("bonds", 4, ComputeModel.ROUND_ROBIN, upstream="helper"),
-            StageConfig("csym", 3, ComputeModel.ROUND_ROBIN, upstream="bonds"),
-        ]
-        pipe = PipelineBuilder(env, wl, stages=stages, seed=seed,
-                               control_interval=10_000).build()
+        stages = (
+            StageSpec("helper", 4, model="tree"),
+            StageSpec("bonds", 4, model="rr", upstream="helper"),
+            StageSpec("csym", 3, model="rr", upstream="bonds"),
+        )
+        env, pipe = _build(
+            "fig4",
+            WorkloadSpec(sim_nodes=256, staging_nodes=13 + max(sizes),
+                         spare=0, steps=4),
+            seed, stages=stages, control_interval=10_000,
+        )
 
         def do(env, pipe=pipe, size=size):
             yield env.timeout(1)
@@ -147,16 +168,16 @@ def run_fig5(sizes=(1, 2, 4, 8), seed: int = 0, **_) -> dict:
     """Figure 5: time to decrease container size."""
     series = []
     for size in sizes:
-        env = Environment()
-        wl = WeakScalingWorkload(sim_nodes=256, staging_nodes=24,
-                                 output_interval=15.0, total_steps=20)
-        stages = [
-            StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
-            StageConfig("bonds", 12, ComputeModel.ROUND_ROBIN, upstream="helper"),
-            StageConfig("csym", 3, ComputeModel.ROUND_ROBIN, upstream="bonds"),
-        ]
-        pipe = PipelineBuilder(env, wl, stages=stages, seed=seed,
-                               control_interval=10_000).build()
+        stages = (
+            StageSpec("helper", 4, model="tree"),
+            StageSpec("bonds", 12, model="rr", upstream="helper"),
+            StageSpec("csym", 3, model="rr", upstream="bonds"),
+        )
+        env, pipe = _build(
+            "fig5",
+            WorkloadSpec(sim_nodes=256, staging_nodes=24, spare=0, steps=20),
+            seed, stages=stages, control_interval=10_000,
+        )
 
         def do(env, pipe=pipe, size=size):
             yield env.timeout(40)
@@ -208,14 +229,14 @@ def run_fig6(ratios=((64, 2), (128, 4), (256, 4), (512, 4), (1024, 8), (2048, 8)
 
 def _run_pipeline(sim_nodes: int, staging_nodes: int, spare: int,
                   steps: int, seed: int, managed: bool = True,
-                  **builder_kwargs) -> dict:
-    from repro.containers.presets import make_workload
-
-    env = Environment()
-    wl = make_workload(sim_nodes=sim_nodes, staging_nodes=staging_nodes,
-                       spare=spare, steps=steps)
+                  stages=None, **builder_kwargs) -> dict:
     builder_kwargs.setdefault("control_interval", 30.0 if managed else 1e9)
-    pipe = PipelineBuilder(env, wl, seed=seed, **builder_kwargs).build()
+    env, pipe = _build(
+        "latency-management",
+        WorkloadSpec(sim_nodes=sim_nodes, staging_nodes=staging_nodes,
+                     spare=spare, steps=steps),
+        seed, stages=stages, **builder_kwargs,
+    )
     finished = pipe.run(settle=300)
     return {
         "finished": finished,
@@ -259,13 +280,12 @@ def run_fig9(seed: int = 1, steps: int = 60, **_) -> dict:
 
 def run_fig10(seed: int = 1, **_) -> dict:
     """Figure 10: end-to-end latency (paper config + 640-node companion)."""
-    companion_stages = [
-        StageConfig("helper", 4, ComputeModel.TREE, upstream=None),
-        StageConfig("bonds", 5, ComputeModel.ROUND_ROBIN, upstream="helper"),
-        StageConfig("csym", 6, ComputeModel.ROUND_ROBIN, upstream="bonds"),
-        StageConfig("cna", 3, ComputeModel.ROUND_ROBIN, upstream="bonds",
-                    standby=True),
-    ]
+    companion_stages = (
+        StageSpec("helper", 4, model="tree"),
+        StageSpec("bonds", 5, model="rr", upstream="helper"),
+        StageSpec("csym", 6, model="rr", upstream="bonds"),
+        StageSpec("cna", 3, model="rr", upstream="bonds", standby=True),
+    )
     return {
         "experiment": "fig10",
         "paper_config_1024": _run_pipeline(1024, 24, 4, 60, seed),
@@ -362,7 +382,7 @@ def run_overload(seed: int = 1, steps: int = 24, include_baseline: bool = True,
 
 
 def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke",
-            tenants: int = 4, **_) -> dict:
+            tenants: int = 4, spec: str = None, **_) -> dict:
     """Deterministic simulation testing: sweep schedule seeds over the smoke
     scenario, checking every registered invariant on every interleaving.
 
@@ -375,11 +395,25 @@ def run_dst(seed: int = 1, seeds: int = 8, scenario: str = "smoke",
     ``tenants`` pipelines on one machine under the fleet arbiter, with the
     two fleet-wide oracles (cross-tenant node leaks, quota conservation)
     active alongside the standard catalogue.
+
+    ``--scenario fuzz`` sweeps *generated topologies*: each seed draws a
+    random-but-valid :class:`~repro.spec.model.PipelineSpec` (and its
+    chaos plan) from the seeded generator, so the oracles exercise shapes
+    nobody hand-wrote.  ``--spec FILE`` sweeps a pipeline loaded from a
+    YAML spec file instead.
     """
     from repro.dst import DSTScenario, explore, shrink
     from repro.dst.scenario import plan_for
 
-    if scenario == "fleet":
+    if spec is not None:
+        from repro.spec.fuzz import SpecFileScenario
+
+        sc = SpecFileScenario(path=str(spec))
+    elif scenario == "fuzz":
+        from repro.spec.fuzz import FuzzedTopologyScenario
+
+        sc = FuzzedTopologyScenario()
+    elif scenario == "fleet":
         from repro.fleet import FleetDSTScenario
 
         sc = FleetDSTScenario(tenants=tenants)
@@ -467,6 +501,37 @@ def run_fleet(seed: int = 1, tenants: int = 6, steps: int = 6, **_) -> dict:
     }
 
 
+def run_specs(spec: str = None, **_) -> dict:
+    """Validate the pipeline-spec library: parse, validate, round-trip.
+
+    Checks every bundled spec (or one ``--spec`` file) three ways: it
+    parses, the validation pass accepts it, and the YAML round-trip is
+    loss free (``from_yaml(to_yaml(s)) == s``).  ``ok`` is False on the
+    first spec failing any of the three — the CI spec-validation gate.
+    """
+    from repro.spec.build import bundled_spec_names, bundled_spec_path
+
+    targets = (
+        [("file", str(spec))] if spec is not None
+        else [(n, str(bundled_spec_path(n))) for n in bundled_spec_names()]
+    )
+    rows = []
+    for name, path in targets:
+        row = {"spec": name, "path": path, "stages": "-", "round_trip": False,
+               "ok": False, "error": ""}
+        try:
+            loaded = PipelineSpec.load(path).validate()
+            row["stages"] = ("default" if loaded.stages is None
+                             else len(loaded.stages))
+            row["round_trip"] = PipelineSpec.from_yaml(loaded.to_yaml()) == loaded
+            row["ok"] = row["round_trip"]
+        except Exception as exc:
+            row["error"] = str(exc)
+        rows.append(row)
+    return {"experiment": "specs", "ok": all(r["ok"] for r in rows),
+            "rows": rows}
+
+
 EXPERIMENTS: Dict[str, callable] = {
     "table1": run_table1,
     "table2": run_table2,
@@ -481,6 +546,7 @@ EXPERIMENTS: Dict[str, callable] = {
     "overload": run_overload,
     "dst": run_dst,
     "fleet": run_fleet,
+    "specs": run_specs,
 }
 
 

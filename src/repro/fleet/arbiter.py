@@ -83,9 +83,26 @@ class FleetArbiter:
     # -- registration ------------------------------------------------------------------
 
     def register(self, tenant: str, gm, quota: TenantQuota) -> None:
-        """Wire a tenant GM into the arbiter and account its base pool."""
+        """Wire a tenant GM into the arbiter and account its base pool.
+
+        Rejects a registration that pushes the aggregate quota floors above
+        the pool registered so far (tenant holdings + spares): a floor the
+        arbiter conserves but could never fill is a misconfiguration, and
+        this is the chokepoint every construction path funnels through.
+        """
         if tenant in self.tenants:
             raise SimulationError(f"tenant {tenant!r} already registered")
+        total = self._expected_total + len(gm.scheduler.pool.nodes)
+        floors = quota.reserved + sum(
+            rec.quota.reserved for rec in self.tenants.values()
+        )
+        if floors > total:
+            raise SimulationError(
+                f"registering tenant {tenant!r} raises aggregate quota "
+                f"floors to {floors} reserved nodes, above the {total}-node "
+                f"pool registered so far (tenant holdings + spares); no "
+                f"arbitration could honor every floor"
+            )
         gm.tenant = tenant
         gm.arbiter = self
         self.tenants[tenant] = _TenantRecord(

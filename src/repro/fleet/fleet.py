@@ -17,26 +17,55 @@ bench measures (t00 browns out; nobody else misses their SLA).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from repro.simkernel import Environment
 from repro.simkernel.errors import SimulationError
 from repro.cluster.presets import franklin
 from repro.containers.pipeline import Pipeline
-from repro.containers.presets import PIPELINE_PRESETS
 from repro.fleet.arbiter import FleetArbiter
 from repro.fleet.quota import TenantQuota
 from repro.monitoring.metrics import Telemetry
 from repro.perf.registry import REGISTRY as PERF
+from repro.spec.build import build as build_spec, bundled_spec_names, load_preset
+from repro.spec.model import (
+    BUILDER_KEYS,
+    PipelineSpec,
+    TenantSpecBlock,
+    WorkloadSpec,
+)
 
-#: (sim writers, staging nodes) each preset's default build carves from the
-#: shared machine — keep in sync with :mod:`repro.containers.presets`
+#: (sim writers, staging nodes) each preset's *default* build carves from
+#: the shared machine — read off the bundled spec library, so the machine
+#: sizing can never drift from :mod:`repro.spec.bundled`.  Per-tenant
+#: workload overrides shrink the carved partitions, never the reservation.
 PRESET_FOOTPRINT: Dict[str, tuple] = {
-    "fig7": (4, 15),
-    "overload": (4, 15),
-    "s3d": (4, 11),
+    name: (
+        int(load_preset(name).builder.get("num_sim_writers", 4)),
+        load_preset(name).workload.staging_nodes,
+    )
+    for name in bundled_spec_names()
 }
+
+_WORKLOAD_FIELDS = frozenset(f.name for f in fields(WorkloadSpec))
+
+
+def _split_overrides(overrides: dict) -> tuple:
+    """Partition tenant overrides into (workload, builder, runtime) — the
+    first two overlay the tenant's :class:`PipelineSpec`, the rest are
+    runtime-only objects forwarded to :func:`repro.spec.build.build`."""
+    workload: dict = {}
+    builder: dict = {}
+    runtime: dict = {}
+    for key, value in overrides.items():
+        if key in _WORKLOAD_FIELDS:
+            workload[key] = value
+        elif key in BUILDER_KEYS:
+            builder[key] = value
+        else:
+            runtime[key] = value
+    return workload, builder, runtime
 
 
 @dataclass
@@ -57,6 +86,29 @@ class TenantSpec:
     sla_factor: float = 12.0
     #: extra keyword overrides forwarded to the preset builder
     overrides: dict = field(default_factory=dict)
+
+    def to_spec(self) -> PipelineSpec:
+        """The per-tenant :class:`PipelineSpec` overlay: the bundled preset
+        spec with this tenant's steps/workload/builder overrides merged in
+        and the quota/SLA block attached."""
+        if self.preset not in PRESET_FOOTPRINT:
+            raise ValueError(
+                f"unknown fleet preset {self.preset!r}; "
+                f"known: {sorted(PRESET_FOOTPRINT)}"
+            )
+        workload, builder, _ = _split_overrides(self.overrides)
+        workload["steps"] = self.steps
+        quota = self.quota
+        tenant = TenantSpecBlock(
+            priority=self.priority,
+            reserved=None if quota is None else quota.reserved,
+            burst=None if quota is None else quota.burst,
+            sla_factor=self.sla_factor,
+            overload_burst=self.overload_burst,
+        )
+        return load_preset(self.preset).override(
+            workload=workload, builder=builder, tenant=tenant,
+        )
 
 
 @dataclass
@@ -227,19 +279,44 @@ class Fleet:
 def build_fleet(env: Environment, specs: List[TenantSpec], spares: int = 4,
                 rebalance_interval: float = 60.0) -> Fleet:
     """Build a fleet: shared machine, arbiter spare pool, one pipeline per
-    spec (each under its own tenant-prefixed partitions)."""
+    spec (each compiled from its :meth:`TenantSpec.to_spec` overlay under
+    its own tenant-prefixed partitions).
+
+    Rejects, before any node is carved: duplicate tenant names, unknown
+    presets, and aggregate quota floors the machine could never honor
+    (Σ reserved > Σ tenant staging + shared spares).
+    """
     if not specs:
         raise ValueError("a fleet needs at least one tenant spec")
+    names = [spec.name for spec in specs]
+    dupes = sorted({n for n in names if names.count(n) > 1})
+    if dupes:
+        raise ValueError(
+            f"duplicate tenant name(s) {dupes}: every tenant needs its own "
+            f"partitions, scheduler, and arbiter registration"
+        )
     total = spares + 2
+    resolved = []  # (TenantSpec, PipelineSpec) in slate order
     for spec in specs:
-        try:
-            writers, staging = PRESET_FOOTPRINT[spec.preset]
-        except KeyError:
-            raise ValueError(
-                f"unknown fleet preset {spec.preset!r}; "
-                f"known: {sorted(PRESET_FOOTPRINT)}"
-            ) from None
+        pspec = spec.to_spec()  # raises ValueError on an unknown preset
+        writers, staging = PRESET_FOOTPRINT[spec.preset]
         total += writers + staging
+        resolved.append((spec, pspec))
+    # Aggregate floor check: the floors a steal may never cross must fit in
+    # the capacity the arbiter conserves (every tenant's own staging pool
+    # plus the shared spares), or some floor could never be honored.
+    capacity = spares + sum(p.workload.staging_nodes for _, p in resolved)
+    floors = sum(
+        s.quota.reserved if s.quota is not None
+        else max(0, p.workload.staging_nodes - 2)
+        for s, p in resolved
+    )
+    if floors > capacity:
+        raise ValueError(
+            f"aggregate quota floors reserve {floors} staging nodes but the "
+            f"fleet only has {capacity} (tenant pools + {spares} shared "
+            f"spares); lower some tenant's reserved floor or add capacity"
+        )
     machine = franklin(env, num_nodes=total)
     spare_part = machine.partition("fleet:spares", spares)
     telemetry = Telemetry()
@@ -248,10 +325,10 @@ def build_fleet(env: Environment, specs: List[TenantSpec], spares: int = 4,
         rebalance_interval=rebalance_interval,
     )
     fleet = Fleet(env, machine, arbiter, telemetry)
-    for spec in specs:
-        build = PIPELINE_PRESETS[spec.preset]
-        pipe = build(env, steps=spec.steps, machine=machine,
-                     tenant=spec.name, **spec.overrides)
+    for spec, pspec in resolved:
+        _, _, runtime = _split_overrides(spec.overrides)
+        pipe = build_spec(env, pspec, machine=machine, tenant=spec.name,
+                          **runtime)
         base = len(pipe.scheduler.pool.nodes)
         quota = spec.quota or TenantQuota(
             # by default a tenant's own spare staging nodes (2 per preset)

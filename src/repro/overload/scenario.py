@@ -21,10 +21,12 @@ import numpy as np
 from repro.containers.pipeline import Pipeline
 from repro.containers.presets import build_overload_pipeline
 from repro.faults.plan import FaultPlan
+from repro.spec.build import register_fault_recipe
 
 __all__ = ["build_overload_pipeline", "overload_burst_plan"]
 
 
+@register_fault_recipe("overload_burst")
 def overload_burst_plan(seed: int, pipe: Pipeline) -> FaultPlan:
     """A seeded slowdown burst (or ramp) across the analysis replicas.
 

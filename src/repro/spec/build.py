@@ -1,0 +1,146 @@
+"""Compile a :class:`~repro.spec.model.PipelineSpec` into a wired Pipeline.
+
+:func:`build` is the single entry point every consumer constructs
+pipelines through: validate the spec, materialize the workload and stage
+configs, and hand :class:`~repro.containers.pipeline.PipelineBuilder`
+exactly the keyword arguments the spec declares — unset keys keep the
+builder's defaults, so a spec-built pipeline is byte-identical to the
+historical keyword-built one.
+
+Runtime-only objects that cannot live in a serialized spec (a shared
+fleet ``Machine``, a tenant name, a concrete ``FaultPlan``, custom
+``StageConfig`` lists, policy/aprun/transaction-manager instances) are
+passed as keyword overrides: ``build(env, spec, machine=m, tenant="t03")``.
+Overrides are applied *after* the spec's builder block, so they win — the
+escape hatch the fleet and the ablation benches use.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.simkernel import Environment
+from repro.containers.pipeline import Pipeline, PipelineBuilder
+from repro.faults.plan import FaultKind, FaultPlan
+from repro.spec.model import PipelineSpec, SpecError
+
+#: bundled spec files: the preset library (fig7 / overload / s3d)
+SPEC_DIR = Path(__file__).resolve().parent / "bundled"
+
+#: name -> seeded plan factory ``(seed, pipe) -> FaultPlan``; specs refer
+#: to recipes by name so fault schedules can target the concrete nodes
+#: stages landed on.  Populated by :func:`register_fault_recipe` at import
+#: of the owning modules (see :func:`_ensure_recipes`).
+FAULT_RECIPES: Dict[str, Callable] = {}
+
+
+def register_fault_recipe(name: str):
+    """Decorator: register a ``(seed, pipe) -> FaultPlan`` factory."""
+
+    def wrap(fn):
+        FAULT_RECIPES[name] = fn
+        return fn
+
+    return wrap
+
+
+def _ensure_recipes() -> None:
+    """Import the modules that register the standard recipes."""
+    import repro.dst.scenario  # noqa: F401 - registers "smoke"
+    import repro.overload.scenario  # noqa: F401 - registers "overload_burst"
+    import repro.spec.fuzz  # noqa: F401 - registers "fuzz_chaos"
+
+
+def build(
+    env: Environment,
+    spec: PipelineSpec,
+    validate: bool = True,
+    **overrides,
+) -> Pipeline:
+    """Compile ``spec`` into a fully wired :class:`Pipeline`.
+
+    ``overrides`` are forwarded verbatim to :class:`PipelineBuilder`
+    (after the spec's own builder block) — the runtime escape hatch for
+    machines, tenants, custom stage lists, and live fault plans.
+    """
+    if validate:
+        spec.validate()
+    if spec.transport != "datatap":
+        raise SpecError(
+            f"spec {spec.name!r} selects transport {spec.transport!r}, but "
+            f"the pipeline builder currently wires the online 'datatap' "
+            f"path only (the field is the engine-selection hook for "
+            f"swappable backends)"
+        )
+    kwargs = dict(spec.builder)
+    stages = spec.stage_configs()
+    if stages is not None:
+        kwargs["stages"] = stages
+    kwargs.update(overrides)
+    pipe = PipelineBuilder(env, spec.workload.to_workload(), **kwargs).build()
+    pipe.spec = spec
+    return pipe
+
+
+def resolve_fault_plan(
+    spec: PipelineSpec, seed: Optional[int], pipe: Pipeline
+) -> Optional[FaultPlan]:
+    """Concrete :class:`FaultPlan` from the spec's fault block (or None).
+
+    Recipe faults are generated against the built pipeline; declarative
+    events are resolved from staging-pool indices to the concrete node
+    ids of the pipeline's scheduler pool, in allocation order.
+    """
+    faults = spec.faults
+    if faults is None:
+        return None
+    eff_seed = faults.seed if faults.seed is not None else (seed or 0)
+    plan: Optional[FaultPlan] = None
+    if faults.recipe is not None:
+        _ensure_recipes()
+        try:
+            factory = FAULT_RECIPES[faults.recipe]
+        except KeyError:
+            raise SpecError(
+                f"unknown fault recipe {faults.recipe!r}; known: "
+                f"{sorted(FAULT_RECIPES)}"
+            ) from None
+        plan = factory(eff_seed, pipe)
+    if faults.events:
+        if plan is None:
+            plan = FaultPlan(seed=eff_seed)
+        pool = [n.node_id for n in pipe.scheduler.pool.nodes]
+        for ev in faults.events:
+            targets = tuple(pool[t] for t in ev.targets)
+            plan.add(FaultKind(ev.kind), ev.time, targets,
+                     duration=ev.duration, severity=ev.severity)
+    return plan
+
+
+# -- the bundled preset library --------------------------------------------------------
+
+
+def bundled_spec_path(name: str) -> Path:
+    path = SPEC_DIR / f"{name}.yaml"
+    if not path.is_file():
+        raise SpecError(
+            f"no bundled spec {name!r}; available: {bundled_spec_names()}"
+        )
+    return path
+
+
+def bundled_spec_names() -> list:
+    return sorted(p.stem for p in SPEC_DIR.glob("*.yaml"))
+
+
+def load_preset(name: str) -> PipelineSpec:
+    """Load (and cache) a bundled spec by name (``fig7``/``overload``/``s3d``)."""
+    cached = _PRESET_CACHE.get(name)
+    if cached is None:
+        cached = PipelineSpec.load(bundled_spec_path(name))
+        _PRESET_CACHE[name] = cached
+    return cached
+
+
+_PRESET_CACHE: Dict[str, PipelineSpec] = {}

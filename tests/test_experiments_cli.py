@@ -14,6 +14,7 @@ class TestRunners:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "overload", "dst", "fleet",
+            "specs",
         }
 
     def test_unknown_experiment_rejected(self):
@@ -100,3 +101,21 @@ class TestCLI:
         main(["table2"])
         captured = capsys.readouterr()
         assert "269.2" in captured.out
+
+    def test_list_presets(self, capsys):
+        assert main(["--list-presets"]) == 0
+        captured = capsys.readouterr()
+        for name in ("fig7", "overload", "s3d"):
+            assert name in captured.out
+
+    def test_no_experiments_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_specs_experiment_validates_bundle(self, capsys):
+        assert main(["specs", "--quiet"]) == 0
+
+    def test_specs_experiment_flags_a_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.yaml"
+        bad.write_text("name: bad\nstages:\n- {name: a, units: 0}\n")
+        assert main(["specs", "--spec", str(bad), "--quiet"]) == 1

@@ -267,7 +267,8 @@ class TestFleetBuild:
         env = Environment()
         specs = [TenantSpec(name="a", preset="s3d", steps=2),
                  TenantSpec(name="a", preset="s3d", steps=2)]
-        with pytest.raises(SimulationError, match="already"):
+        # rejected upfront, before any machine node is carved
+        with pytest.raises(ValueError, match="duplicate tenant name"):
             build_fleet(env, specs)
 
     def test_partitions_are_tenant_prefixed(self):
@@ -312,3 +313,47 @@ class TestFleetRun:
 
         assert "no_cross_tenant_node_leak" in INVARIANTS
         assert "quota_conservation" in INVARIANTS
+
+
+class TestFleetValidation:
+    def test_aggregate_floors_beyond_capacity_rejected_upfront(self):
+        # two s3d tenants = 2 x 11 staging + 4 spares = 26 nodes of
+        # conservable capacity; floors of 14 each (28) can never all hold
+        env = Environment()
+        specs = [
+            TenantSpec(name="a", preset="s3d", steps=2,
+                       quota=TenantQuota(reserved=14, burst=20)),
+            TenantSpec(name="b", preset="s3d", steps=2,
+                       quota=TenantQuota(reserved=14, burst=20)),
+        ]
+        with pytest.raises(ValueError, match="aggregate quota floors"):
+            build_fleet(env, specs, spares=4)
+
+    def test_register_rejects_unfillable_floors_on_legacy_path(self):
+        # direct arbiter registration (no build_fleet) hits the same check
+        env = Environment()
+        machine = Machine(env, num_nodes=10)
+        spare_nodes = list(machine.partition("spares", 2).nodes)
+        arb = FleetArbiter(env, spare_nodes, rebalance_interval=0)
+        sched_a = BatchScheduler(env, machine.partition("a", 4), label="fleet.a")
+        arb.register("a", _FakeGM(sched_a), TenantQuota(reserved=2, burst=8))
+        sched_b = BatchScheduler(env, machine.partition("b", 4), label="fleet.b")
+        with pytest.raises(SimulationError, match="aggregate quota floors"):
+            # pool so far = 2 spares + 4 + 4 = 10; floors 2 + 9 = 11
+            arb.register("b", _FakeGM(sched_b), TenantQuota(reserved=9, burst=9))
+        # the failed registration left no partial state behind
+        assert "b" not in arb.tenants
+        assert arb._expected_total == 6
+
+    def test_tenant_spec_overlay(self):
+        spec = TenantSpec(
+            name="t07", preset="fig7", steps=5, priority=2,
+            overrides=dict(staging_nodes=13, spare=0),
+        ).to_spec()
+        assert spec.workload.steps == 5
+        assert spec.workload.staging_nodes == 13
+        assert spec.workload.spare == 0
+        assert spec.builder["seed"] == 1  # the bundled preset's default
+        assert spec.tenant.priority == 2
+        assert spec.tenant.reserved is None  # derived from the built pool
+        spec.validate()

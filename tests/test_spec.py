@@ -1,0 +1,284 @@
+"""Tests for repro.spec: the model round-trip, the validation pass, the
+bundled preset library, and the byte-identity of spec-built pipelines."""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simkernel import Environment, shuffle
+from repro.containers.pipeline import PipelineBuilder, StageConfig
+from repro.containers.presets import (
+    build_overload_pipeline,
+    build_s3d_pipeline,
+    make_workload,
+)
+from repro.smartpointer.costs import ComputeModel
+from repro.spec import (
+    FaultEventSpec,
+    FaultSpec,
+    PipelineSpec,
+    SpecError,
+    StageSpec,
+    TenantSpecBlock,
+    WorkloadSpec,
+)
+from repro.spec.build import build, bundled_spec_names, load_preset
+from repro.spec.fuzz import generate_spec
+
+
+def _stages(*triples):
+    """(name, units, model[, upstream]) tuples -> StageSpec tuple."""
+    out = []
+    for t in triples:
+        name, units, model = t[:3]
+        upstream = t[3] if len(t) > 3 else None
+        out.append(StageSpec(name, units, model=model, upstream=upstream))
+    return tuple(out)
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("name", "t")
+    return PipelineSpec(**kwargs)
+
+
+# -- round-trip -------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_kitchen_sink_round_trips(self):
+        spec = PipelineSpec(
+            name="everything",
+            workload=WorkloadSpec(sim_nodes=128, staging_nodes=12, spare=2,
+                                  steps=5, output_interval=10.0),
+            stages=_stages(("helper", 4, "tree"),
+                           ("bonds", 3, "rr", "helper"),
+                           ("cna", 2, "serial", "bonds")),
+            builder={"seed": 7, "fault_tolerance": True,
+                     "backpressure": {"credit_refresh": 2.0},
+                     "control_interval": 30.0},
+            sla=4.0,
+            faults=FaultSpec(recipe="smoke", seed=3, events=(
+                FaultEventSpec(kind="node_crash", time=30.0, targets=(1,)),
+            )),
+            tenant=TenantSpecBlock(priority=2, reserved=6, burst=14),
+        )
+        again = PipelineSpec.from_yaml(spec.to_yaml())
+        assert again == spec
+        assert again.to_yaml() == spec.to_yaml()
+
+    @given(seed=st.integers(min_value=0, max_value=2**63 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_generated_specs_round_trip_loss_free(self, seed):
+        spec = generate_spec(seed)
+        again = PipelineSpec.from_yaml(spec.to_yaml())
+        assert again == spec
+        assert again.to_yaml() == spec.to_yaml()
+
+    def test_bundled_specs_round_trip(self):
+        assert bundled_spec_names() == ["fig7", "overload", "s3d"]
+        for name in bundled_spec_names():
+            spec = load_preset(name).validate()
+            assert PipelineSpec.from_yaml(spec.to_yaml()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError, match="unknown pipeline field"):
+            PipelineSpec.from_dict({"name": "x", "colour": "red"})
+        with pytest.raises(SpecError, match="unknown stage field"):
+            PipelineSpec.from_dict(
+                {"name": "x", "stages": [{"name": "a", "units": 1, "cpus": 4}]}
+            )
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "p.yaml"
+        spec = generate_spec(11)
+        spec.save(path)
+        assert PipelineSpec.load(path) == spec
+
+
+# -- validation -------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_cycle_rejected(self):
+        spec = _spec(stages=_stages(("helper", 4, "tree"),
+                                    ("bonds", 2, "rr", "cna"),
+                                    ("cna", 2, "rr", "bonds")))
+        with pytest.raises(SpecError, match="cycle"):
+            spec.validate()
+
+    def test_dangling_upstream_rejected(self):
+        spec = _spec(stages=_stages(("helper", 4, "tree"),
+                                    ("bonds", 2, "rr", "ghost")))
+        with pytest.raises(SpecError, match="unknown upstream stage 'ghost'"):
+            spec.validate()
+
+    def test_zero_unit_stage_rejected(self):
+        spec = _spec(stages=_stages(("helper", 0, "tree")))
+        with pytest.raises(SpecError, match="units must be >= 1"):
+            spec.validate()
+
+    def test_multiple_roots_rejected(self):
+        spec = _spec(stages=_stages(("helper", 4, "tree"), ("bonds", 2, "rr")))
+        with pytest.raises(SpecError, match="multiple root stages"):
+            spec.validate()
+
+    def test_non_tree_root_rejected(self):
+        spec = _spec(stages=_stages(("bonds", 2, "rr")))
+        with pytest.raises(SpecError, match="must use the 'tree' compute model"):
+            spec.validate()
+
+    def test_unsupported_compute_model_rejected(self):
+        spec = _spec(stages=_stages(("cna", 2, "parallel")))
+        with pytest.raises(SpecError, match="does not support"):
+            spec.validate()
+
+    def test_staging_overflow_rejected(self):
+        spec = _spec(
+            workload=WorkloadSpec(staging_nodes=5),
+            stages=_stages(("helper", 4, "tree"), ("bonds", 4, "rr", "helper")),
+        )
+        with pytest.raises(SpecError, match="staging nodes"):
+            spec.validate()
+
+    def test_unknown_builder_key_rejected(self):
+        with pytest.raises(SpecError, match="unknown builder key"):
+            _spec(builder={"warp_factor": 9}).validate()
+
+    def test_buffer_below_one_step_rejected(self):
+        with pytest.raises(SpecError, match="below one timestep per writer"):
+            _spec(builder={"sim_buffer_bytes": 1024.0}).validate()
+        with pytest.raises(SpecError, match="below one timestep"):
+            _spec(builder={"stage_buffer_bytes": 1024.0}).validate()
+
+    def test_tenant_floor_beyond_capacity_rejected(self):
+        spec = _spec(tenant=TenantSpecBlock(reserved=99, burst=100))
+        with pytest.raises(SpecError, match="exceeds the tenant's own"):
+            spec.validate()
+
+    def test_fault_target_out_of_range_rejected(self):
+        spec = _spec(faults=FaultSpec(events=(
+            FaultEventSpec(kind="node_crash", time=10.0, targets=(40,)),
+        )))
+        with pytest.raises(SpecError, match="outside"):
+            spec.validate()
+
+    def test_unknown_fault_recipe_rejected(self):
+        with pytest.raises(SpecError, match="unknown fault recipe"):
+            _spec(faults=FaultSpec(recipe="gremlins")).validate()
+
+    def test_planted_invalid_yaml_rejected_with_pointed_error(self, tmp_path):
+        # the acceptance check: a spec wired to an unknown stage fails with
+        # an error that names the stage and the known alternatives
+        path = tmp_path / "bad.yaml"
+        path.write_text(
+            "name: planted\n"
+            "stages:\n"
+            "- {name: helper, units: 4, model: tree}\n"
+            "- {name: bonds, units: 2, upstream: helpr}\n"
+        )
+        with pytest.raises(SpecError) as err:
+            build(Environment(), PipelineSpec.load(path))
+        assert "helpr" in str(err.value) and "helper" in str(err.value)
+
+
+# -- build ------------------------------------------------------------------------
+
+
+def _trace(pipe):
+    return (
+        pipe.node_census(),
+        pipe.telemetry.events,
+        sorted((step, round(lat, 9)) for _, step, lat in pipe.end_to_end),
+    )
+
+
+class TestBuild:
+    def test_fig7_spec_matches_legacy_builder_byte_for_byte(self):
+        def via_spec():
+            env = Environment(tie_breaker=shuffle(5))
+            pipe = build(env, load_preset("fig7").override(
+                workload=dict(steps=3)))
+            pipe.run(settle=60)
+            return _trace(pipe)
+
+        def via_legacy_kwargs():
+            env = Environment(tie_breaker=shuffle(5))
+            wl = make_workload(steps=3)
+            pipe = PipelineBuilder(
+                env, wl, seed=1, control_interval=30.0, fault_tolerance=True,
+                heartbeat_interval=1.0, lease_timeout=5.0,
+            ).build()
+            pipe.run(settle=60)
+            return _trace(pipe)
+
+        assert via_spec() == via_legacy_kwargs()
+
+    def test_s3d_spec_matches_legacy_builder_byte_for_byte(self):
+        from repro.s3d.components import S3D_COMPONENTS
+
+        def via_spec():
+            env = Environment(tie_breaker=shuffle(2))
+            pipe = build_s3d_pipeline(env, steps=2)
+            pipe.run(settle=60)
+            return _trace(pipe)
+
+        def via_legacy_kwargs():
+            env = Environment(tie_breaker=shuffle(2))
+            wl = make_workload(staging_nodes=11, spare=2, steps=2)
+            stages = [
+                StageConfig("reduce", 3, ComputeModel.TREE, upstream=None,
+                            component_spec=S3D_COMPONENTS["reduce"]),
+                StageConfig("front", 4, ComputeModel.ROUND_ROBIN,
+                            upstream="reduce",
+                            component_spec=S3D_COMPONENTS["front"]),
+                StageConfig("track", 2, ComputeModel.ROUND_ROBIN,
+                            upstream="front",
+                            component_spec=S3D_COMPONENTS["track"]),
+            ]
+            pipe = PipelineBuilder(env, wl, seed=0, stages=stages).build()
+            pipe.run(settle=60)
+            return _trace(pipe)
+
+        assert via_spec() == via_legacy_kwargs()
+
+    def test_build_attaches_spec(self):
+        env = Environment()
+        spec = load_preset("s3d")
+        pipe = build(env, spec)
+        assert pipe.spec == spec
+
+    def test_non_datatap_transport_rejected(self):
+        spec = _spec(transport="posix")
+        with pytest.raises(SpecError, match="datatap"):
+            build(Environment(), spec)
+
+    def test_override_overlay(self):
+        base = load_preset("overload")
+        derived = base.override(
+            workload=dict(steps=4),
+            builder=dict(control_interval=1e9),
+            drop_builder=("backpressure", "brownout"),
+        )
+        # the base spec is untouched (frozen value semantics)
+        assert base.builder["backpressure"] is True
+        assert derived.workload.steps == 4
+        assert "backpressure" not in derived.builder
+        assert derived.builder["control_interval"] == 1e9
+
+
+# -- the overload buffer-override footgun ------------------------------------------
+
+
+class TestOverloadResizeGuard:
+    def test_buffer_override_warns_without_allow_resize(self):
+        env = Environment()
+        with pytest.warns(UserWarning, match="allow_resize"):
+            build_overload_pipeline(env, steps=2, sim_buffer_bytes=2**30)
+
+    def test_allow_resize_silences_the_warning(self):
+        env = Environment()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            build_overload_pipeline(env, steps=2, sim_buffer_bytes=2**30,
+                                    allow_resize=True)

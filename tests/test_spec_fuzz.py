@@ -1,0 +1,95 @@
+"""Tests for the seeded topology fuzzer and its DST wiring."""
+
+from collections import Counter
+
+import pytest
+
+from repro.spec import PipelineSpec
+from repro.spec.fuzz import (
+    MAX_FANOUT,
+    MAX_STAGES,
+    MAX_UNITS,
+    FuzzedTopologyScenario,
+    SpecFileScenario,
+    generate_spec,
+)
+
+
+class TestGenerator:
+    def test_same_seed_is_bit_identical(self):
+        for seed in (0, 1, 7, 0xDEADBEEF, 2**63 - 1):
+            a, b = generate_spec(seed), generate_spec(seed)
+            assert a == b
+            assert a.to_yaml() == b.to_yaml()
+
+    def test_seeds_actually_vary_the_shape(self):
+        shapes = {generate_spec(seed).to_yaml() for seed in range(16)}
+        assert len(shapes) > 8
+
+    def test_every_generated_spec_validates(self):
+        for seed in range(30):
+            generate_spec(seed).validate()
+
+    def test_generator_bounds_hold(self):
+        for seed in range(30):
+            spec = generate_spec(seed)
+            assert 1 <= len(spec.stages) <= MAX_STAGES
+            assert all(1 <= s.units <= MAX_UNITS for s in spec.stages)
+            roots = [s for s in spec.stages if s.upstream is None]
+            assert len(roots) == 1
+            assert roots[0].model == "tree"
+            fan = Counter(s.upstream for s in spec.stages
+                          if s.upstream is not None)
+            assert all(n <= MAX_FANOUT for n in fan.values())
+            assert spec.workload.sim_nodes in (64, 128)
+            assert 4 <= spec.workload.steps <= 6
+
+    def test_steps_override(self):
+        assert generate_spec(9, steps=4).workload.steps == 4
+
+
+class TestFuzzDST:
+    def test_clean_sweep_quick(self):
+        sc = FuzzedTopologyScenario()
+        for seed in range(4):
+            report = sc.run(seed)
+            assert report.ok, (seed, report.violations)
+            assert report.finished
+
+    def test_same_seed_replays_identically(self):
+        sc = FuzzedTopologyScenario()
+        assert sc.run(3).as_dict() == sc.run(3).as_dict()
+
+    def test_repro_command_names_the_fuzz_scenario(self):
+        sc = FuzzedTopologyScenario()
+        assert "fuzz" in sc.run(0).repro
+
+    @pytest.mark.slow
+    def test_hundred_seed_sweep_is_violation_free(self):
+        sc = FuzzedTopologyScenario()
+        bad = {}
+        for seed in range(100):
+            report = sc.run(seed)
+            if not (report.ok and report.finished):
+                bad[seed] = [str(v) for v in report.violations]
+        assert bad == {}
+
+
+class TestSpecFileScenario:
+    def test_sweeps_a_spec_from_disk(self, tmp_path):
+        path = tmp_path / "gen.yaml"
+        generate_spec(5, steps=4).save(path)
+        sc = SpecFileScenario(path=str(path))
+        report = sc.run(1)
+        assert report.ok, report.violations
+        assert str(path) in report.repro
+
+    def test_missing_path_rejected(self):
+        with pytest.raises(ValueError, match="path"):
+            SpecFileScenario().run(0)
+
+    def test_loaded_spec_round_trips(self, tmp_path):
+        path = tmp_path / "gen.yaml"
+        spec = generate_spec(21)
+        spec.save(path)
+        assert PipelineSpec.load(path) == spec
