@@ -1,0 +1,211 @@
+"""Predictive-management bench: forecaster stack vs pure hysteresis, head to head.
+
+Runs the overload scenario twice — once with the reactive controllers and
+once with the :mod:`repro.analytics` forecaster stack attached
+(``mode: predictive``) — via :func:`repro.experiments.figures.run_predictive`.
+The predictive run must finish, fully restore, and strictly reduce *both*
+headline costs of the reactive policy: seconds spent degraded and the
+fraction of timesteps shed.  A replay of the predictive run under the same
+seed must reproduce the identical degradation ladder, shed accounting,
+forecaster sample count and signal count — the analytics layer is part of
+the deterministic schedule, not an observer with its own clock.
+
+Emits ``BENCH_predictive.json`` at the repo root via the shared
+perf-report machinery: both runs' time-in-degraded and shed fraction, the
+deltas, and the analytics sampling counters.
+
+Smoke mode for CI: ``BENCH_SMOKE=1`` shrinks the run to 12 timesteps.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_predictive.py``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.experiments.figures import run_predictive
+from repro.perf.registry import REGISTRY
+from repro.perf.report import load_kernel_report, write_kernel_report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+STEPS = 12 if SMOKE else 24
+SEED = 7
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_predictive.json"
+
+#: regression slack on the predictive/reactive time-in-degraded ratio vs
+#: the committed baseline's — absolute, because smoke and full runs sit at
+#: different scales and only the ratio is comparable across them
+GATE_RATIO_SLACK = 0.1
+
+
+def predictive_metrics(result):
+    """Sanity-check one head-to-head result and pull the headlines."""
+    assert result["ok"], "predictive experiment reported not-ok"
+    reactive = result["reactive"]
+    predictive = result["predictive"]
+    assert reactive["finished"] and predictive["finished"]
+    assert predictive["fully_restored"], "predictive ladder never fully unwound"
+    assert predictive["final_stride"] == 1, predictive["final_stride"]
+    # The acceptance claim, strictly: both axes improve.
+    assert (predictive["time_in_degraded_s"]
+            < reactive["time_in_degraded_s"]), "no time-in-degraded win"
+    assert predictive["shed_fraction"] < reactive["shed_fraction"], (
+        "no shed-fraction win"
+    )
+    analytics = predictive["analytics"]
+    assert analytics["samples"] > 0, "forecaster never sampled"
+    return {
+        "reactive_time_in_degraded_s": reactive["time_in_degraded_s"],
+        "predictive_time_in_degraded_s": predictive["time_in_degraded_s"],
+        "time_in_degraded_reduction_s": result["time_in_degraded_reduction_s"],
+        "reactive_shed_fraction": reactive["shed_fraction"],
+        "predictive_shed_fraction": predictive["shed_fraction"],
+        "shed_reduction_steps": result["shed_reduction_steps"],
+        "predictive_delivered_steps": predictive["delivered_steps"],
+        "reactive_delivered_steps": reactive["delivered_steps"],
+        "analytics_samples": analytics["samples"],
+        "analytics_signals": analytics["signals"],
+        "analytics_series": len(analytics["series"]),
+        "shed_by_reason_predictive": predictive["shed_by_reason"],
+        "shed_by_reason_reactive": reactive["shed_by_reason"],
+    }
+
+
+def run_suite():
+    """Head-to-head run + replay-identity run; returns (metrics, identity)."""
+    result = run_predictive(seed=SEED, steps=STEPS)
+    metrics = predictive_metrics(result)
+
+    # Replay: same seed, same schedule — ladder, sheds, samples, signals.
+    result2 = run_predictive(seed=SEED, steps=STEPS)
+    identity = {
+        "steps_a": result["predictive"]["degradation_steps"],
+        "steps_b": result2["predictive"]["degradation_steps"],
+        "shed_a": result["predictive"]["shed_by_reason"],
+        "shed_b": result2["predictive"]["shed_by_reason"],
+        "analytics_a": result["predictive"]["analytics"],
+        "analytics_b": result2["predictive"]["analytics"],
+    }
+    assert identity["steps_a"] == identity["steps_b"], "degradation trace diverged"
+    assert identity["shed_a"] == identity["shed_b"], "shed accounting diverged"
+    assert identity["analytics_a"] == identity["analytics_b"], (
+        "forecaster state diverged across replays"
+    )
+    return metrics, identity
+
+
+def check_gate(metrics, baseline_doc):
+    """The CI gate: predictive must not regress past reactive.
+
+    Two layers: in this run, predictive time-in-degraded must be at or
+    below reactive (the strict assert in :func:`predictive_metrics`
+    already demands strictly below); and the machine-independent
+    predictive/reactive ratio must not drift more than
+    :data:`GATE_RATIO_SLACK` above the committed baseline's ratio.
+    """
+    problems = []
+    reactive = metrics["reactive_time_in_degraded_s"]
+    predictive = metrics["predictive_time_in_degraded_s"]
+    if predictive > reactive:
+        problems.append(
+            f"predictive time-in-degraded {predictive:.1f}s exceeds "
+            f"reactive {reactive:.1f}s"
+        )
+    base = (baseline_doc or {}).get("results", {})
+    base_reactive = base.get("predictive.reactive_time_in_degraded_s")
+    base_predictive = base.get("predictive.time_in_degraded_s")
+    if (isinstance(base_reactive, (int, float)) and base_reactive > 0
+            and isinstance(base_predictive, (int, float)) and reactive > 0):
+        ratio = predictive / reactive
+        base_ratio = base_predictive / base_reactive
+        if ratio > base_ratio + GATE_RATIO_SLACK:
+            problems.append(
+                f"time-in-degraded ratio {ratio:.3f} exceeds committed "
+                f"baseline {base_ratio:.3f} + {GATE_RATIO_SLACK} slack"
+            )
+    return problems
+
+
+def emit_report(metrics):
+    perf = REGISTRY.snapshot()
+    counters = {
+        k: v for k, v in perf["counters"].items()
+        if k.split(".")[0] in ("overload", "analytics", "pipeline")
+    }
+    results = {
+        "predictive.reactive_time_in_degraded_s":
+            metrics["reactive_time_in_degraded_s"],
+        "predictive.time_in_degraded_s":
+            metrics["predictive_time_in_degraded_s"],
+        "predictive.time_in_degraded_reduction_s":
+            metrics["time_in_degraded_reduction_s"],
+        "predictive.reactive_shed_fraction": metrics["reactive_shed_fraction"],
+        "predictive.shed_fraction": metrics["predictive_shed_fraction"],
+    }
+    doc = write_kernel_report(
+        REPORT_PATH,
+        results,
+        counters={
+            **counters,
+            "predictive.shed_reduction_steps": metrics["shed_reduction_steps"],
+            "predictive.analytics_samples": metrics["analytics_samples"],
+            "predictive.analytics_signals": metrics["analytics_signals"],
+            "predictive.analytics_series": metrics["analytics_series"],
+        },
+        meta={
+            "bench": "bench_predictive",
+            "smoke": SMOKE,
+            "seed": SEED,
+            "steps": STEPS,
+            "shed_by_reason_predictive": metrics["shed_by_reason_predictive"],
+            "shed_by_reason_reactive": metrics["shed_by_reason_reactive"],
+            "scenario": (
+                "overload preset, reactive vs predictive overload policy, "
+                "seeded burst/ramp slowdown"
+            ),
+        },
+    )
+    return doc
+
+
+def test_predictive_head_to_head(benchmark):
+    from conftest import print_table
+
+    baseline_doc = load_kernel_report(REPORT_PATH)
+    metrics, identity = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    problems = check_gate(metrics, baseline_doc)
+    emit_report(metrics)
+    benchmark.extra_info.update(
+        {
+            "report": str(REPORT_PATH),
+            "time_in_degraded_reduction_s":
+                metrics["time_in_degraded_reduction_s"],
+            "shed_reduction_steps": metrics["shed_reduction_steps"],
+        }
+    )
+    print_table(
+        "Predictive vs reactive overload metrics",
+        ["Metric", "Value"],
+        [[k, f"{v:.3f}" if isinstance(v, float) else str(v)]
+         for k, v in sorted(metrics.items())],
+    )
+    assert identity["steps_a"] == identity["steps_b"]
+    assert not problems, "; ".join(problems)
+
+
+def main():
+    baseline_doc = load_kernel_report(REPORT_PATH)
+    metrics, _ = run_suite()
+    problems = check_gate(metrics, baseline_doc)
+    emit_report(metrics)
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, float):
+            print(f"{name:36s} {value:12.3f}")
+        else:
+            print(f"{name:36s} {value!s:>12}")
+    print(f"wrote {REPORT_PATH}")
+    if problems:
+        raise SystemExit("predictive bench regression:\n  " + "\n  ".join(problems))
+
+
+if __name__ == "__main__":
+    main()

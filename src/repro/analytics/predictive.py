@@ -1,0 +1,309 @@
+"""The predictive policy: sample, derive, forecast, signal.
+
+:class:`PredictiveManager` is the runtime object a pipeline built with
+``overload: {mode: predictive}`` carries (``pipe.analytics``).  It owns
+
+* a sampling process that, every ``sample_interval`` simulated seconds,
+  folds the GM snapshot, the driver's staging-buffer occupancy, the
+  derived risk metrics and a few perf-registry counters into the
+  :class:`~repro.analytics.series.SeriesStore`;
+* one EWMA + one rolling-trend forecaster per metric, updated as the
+  samples land; and
+* the query surface the overload controllers consult:
+  :meth:`sla_risk` (worst forecast SLA ratio over live containers),
+  :meth:`forecast` (per-metric, conservative max of level and trend),
+  and :meth:`signal`, which records the forecaster evidence *before* a
+  proactive action executes — the DST invariant
+  ``predictive_actions_bounded`` audits exactly this ordering.
+
+Everything here is driven by the simulation clock and the deterministic
+snapshot order of the GM's insertion-ordered manager dict, so two
+replays of the same seeded run produce bit-identical stores, forecasts
+and signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.simkernel import Interrupt
+from repro.perf.registry import REGISTRY
+from repro.analytics.series import SeriesStore
+from repro.analytics.derived import ContainerRiskModel
+from repro.analytics.forecast import EWMAForecaster, TrendForecaster
+
+__all__ = ["PredictiveConfig", "PredictiveManager"]
+
+#: perf-registry counters mirrored into the series store each sample
+SAMPLED_COUNTERS = ("overload.shed", "overload.escalations")
+
+
+@dataclass(frozen=True)
+class PredictiveConfig:
+    """Tuning of the sampling/forecasting loop and the proactive policy."""
+
+    #: seconds between metric samples
+    sample_interval: float = 5.0
+    #: how far ahead (seconds) the controllers ask the forecasters to look
+    horizon: float = 30.0
+    #: ring-buffer capacity per metric series
+    capacity: int = 256
+    #: EWMA smoothing factor
+    ewma_alpha: float = 0.4
+    #: rolling window (samples) for the linear-trend forecaster
+    trend_window: int = 8
+    #: samples a metric needs before its forecast counts
+    min_observations: int = 3
+    #: forecast SLA ratio that triggers a proactive escalation
+    risk_threshold: float = 1.0
+    #: ladder rungs a forecast alone may take; shedding rungs (stride,
+    #: offline) always wait for a real violation
+    proactive_kinds: Tuple[str, ...] = ("increase", "steal")
+    #: ladder height a forecast alone may build — beyond this, escalation
+    #: again requires an observed violation
+    max_proactive_level: int = 2
+    #: recovery dwell multiplier when the forecast confirms the calm
+    recovery_dwell_factor: float = 0.5
+    #: brownout check-interval multiplier while the forecast confirms the
+    #: violation persists — the ladder climbs rung-by-rung but faster
+    escalation_check_factor: float = 0.5
+    #: cap on the undo_offline dwell multiplier built by premature-recovery
+    #: backoff (1.0 disables the backoff entirely)
+    offline_backoff_cap: float = 2.0
+
+    def __post_init__(self):
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if self.horizon < 0:
+            raise ValueError("horizon must be >= 0")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if not 0.0 < self.recovery_dwell_factor <= 1.0:
+            raise ValueError("recovery_dwell_factor must be in (0, 1]")
+        if not 0.0 < self.escalation_check_factor <= 1.0:
+            raise ValueError("escalation_check_factor must be in (0, 1]")
+        if self.offline_backoff_cap < 1.0:
+            raise ValueError("offline_backoff_cap must be >= 1.0")
+        unknown = set(self.proactive_kinds) - {"increase", "steal", "stride", "offline"}
+        if unknown:
+            raise ValueError(f"unknown proactive kinds: {sorted(unknown)}")
+
+    def as_dict(self) -> dict:
+        return {
+            "sample_interval": self.sample_interval,
+            "horizon": self.horizon,
+            "capacity": self.capacity,
+            "ewma_alpha": self.ewma_alpha,
+            "trend_window": self.trend_window,
+            "min_observations": self.min_observations,
+            "risk_threshold": self.risk_threshold,
+            "proactive_kinds": list(self.proactive_kinds),
+            "max_proactive_level": self.max_proactive_level,
+            "recovery_dwell_factor": self.recovery_dwell_factor,
+            "escalation_check_factor": self.escalation_check_factor,
+            "offline_backoff_cap": self.offline_backoff_cap,
+        }
+
+
+class PredictiveManager:
+    """Samples pipeline metrics and serves forecasts to the controllers."""
+
+    def __init__(self, env, pipe, config: Optional[PredictiveConfig] = None):
+        self.env = env
+        self.pipe = pipe
+        self.config = config or PredictiveConfig()
+        self.store = SeriesStore(default_capacity=self.config.capacity)
+        self._ewma: Dict[str, EWMAForecaster] = {}
+        self._trend: Dict[str, TrendForecaster] = {}
+        self._risk: Optional[ContainerRiskModel] = None
+        self.signals = 0
+        self.samples = 0
+        # The perf registry is process-global; snapshot its counts at
+        # construction so the mirrored series are run-local deltas and
+        # replays are bit-identical regardless of prior runs.
+        self._counter_baseline = {
+            name: float(REGISTRY.counter(name)) for name in SAMPLED_COUNTERS
+        }
+        self._stopped = False
+        self._proc = env.process(self._run(), name="analytics")
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    # -- transition subscribers (ladder deltas, shed deltas) ------------------------
+
+    def attach(self, pipe) -> None:
+        """Subscribe to ladder transitions and shed records so the store
+        sees `time_in_degraded` / shed deltas *as they happen*, not at
+        pipeline end."""
+        pipe.degradation.subscribers.append(self._on_degradation)
+        pipe.shed_ledger.subscribers.append(self._on_shed)
+
+    def _on_degradation(self, step, trace) -> None:
+        self.store.append("overload.degradation_level", step.time,
+                          float(trace.overall_level))
+        self.store.append("overload.time_in_degraded", step.time,
+                          trace.time_in_degraded(step.time))
+
+    def _on_shed(self, record, ledger) -> None:
+        self.store.append("overload.shed_steps", record.time, float(len(ledger.steps())))
+        self.store.append(f"shed.{record.stage}", record.time, float(record.timestep))
+
+    # -- the sampling loop ----------------------------------------------------------
+
+    def _run(self):
+        interval = self.config.sample_interval
+        while True:
+            try:
+                yield self.env.timeout(interval)
+            except Interrupt:
+                return
+            if self._stopped:
+                return
+            self.sample()
+
+    def sample(self) -> None:
+        """Fold one observation of the whole pipeline into the store."""
+        now = self.env.now
+        gm = self.pipe.global_manager
+        driver = self.pipe.driver
+        if gm is None:
+            return
+        if self._risk is None:
+            self._risk = ContainerRiskModel(
+                gm.sla_interval, trend_window=self.config.trend_window
+            )
+        for name, state in gm.snapshot().items():
+            if state.offline or not state.active or state.units <= 0:
+                continue
+            latency = state.effective_latency()
+            if latency is not None:
+                budget = gm.sla_interval * state.sla_factor
+                self.observe(f"{name}.sla_ratio", now, latency / budget)
+            self.observe(f"{name}.buffer_occupancy", now, state.buffer_occupancy)
+            stride = gm.locals[name].container.stride
+            derived = self._risk.update(now, state, stride=stride)
+            self.observe(f"{name}.queue_risk", now, derived.queue_risk)
+            self.observe(f"{name}.headroom_trend", now, derived.headroom_trend)
+            self.observe(f"{name}.stride_demand", now, derived.stride_demand)
+        if driver is not None and driver.writers:
+            occ = max(w.buffer.occupancy for w in driver.writers)
+            self.observe("sim.buffer_occupancy", now, occ)
+        self.store.sample_counters(
+            REGISTRY, SAMPLED_COUNTERS, now, baseline=self._counter_baseline
+        )
+        self.samples += 1
+
+    def observe(self, metric: str, time: float, value: float) -> None:
+        """Record one sample and update that metric's forecasters."""
+        self.store.append(metric, time, value)
+        ewma = self._ewma.get(metric)
+        if ewma is None:
+            ewma = self._ewma[metric] = EWMAForecaster(self.config.ewma_alpha)
+            self._trend[metric] = TrendForecaster(self.config.trend_window)
+        ewma.observe(time, value)
+        self._trend[metric].observe(time, value)
+
+    # -- the query surface ----------------------------------------------------------
+
+    def forecast(self, metric: str, horizon: Optional[float] = None) -> Optional[float]:
+        """Conservative forecast for ``metric`` at ``now + horizon``.
+
+        Takes the max of the EWMA level and the trend extrapolation: for
+        risk-like metrics a controller should act on whichever model
+        paints the darker picture.  None until ``min_observations``
+        samples have landed.
+        """
+        series = self.store.get(metric)
+        if series is None or series.count < self.config.min_observations:
+            return None
+        ewma = self._ewma.get(metric)
+        trend_model = self._trend.get(metric)
+        if ewma is None and trend_model is None:
+            # Series fed straight into the store (counter mirrors,
+            # subscriber deltas) carry no forecasters.
+            return None
+        if horizon is None:
+            horizon = self.config.horizon
+        level = None if ewma is None else ewma.forecast(horizon)
+        trend = None if trend_model is None else trend_model.forecast(horizon)
+        if level is None:
+            return trend
+        if trend is None:
+            return level
+        return level if level >= trend else trend
+
+    def sla_risk(
+        self, horizon: Optional[float] = None, max_age: Optional[float] = None,
+    ) -> Optional[Tuple[str, float]]:
+        """Worst forecast SLA ratio over live containers: (name, ratio).
+
+        Containers whose ratio series has gone quiet — offline, idle, or
+        strided so hard they stopped completing steps — are excluded
+        after ``max_age`` (default two sample intervals): a forecaster
+        frozen on its last pre-outage sample is evidence of nothing.
+        """
+        gm = self.pipe.global_manager
+        if gm is None:
+            return None
+        if max_age is None:
+            max_age = 2.0 * self.config.sample_interval
+        now = self.env.now
+        worst: Optional[Tuple[str, float]] = None
+        for name, manager in gm.locals.items():
+            container = manager.container
+            if container.offline or not getattr(container, "active", True):
+                continue
+            series = self.store.get(f"{name}.sla_ratio")
+            last = series.last() if series is not None else None
+            if last is None or now - last[0] > max_age:
+                continue
+            value = self.forecast(f"{name}.sla_ratio", horizon)
+            if value is None:
+                continue
+            if worst is None or value > worst[1]:
+                worst = (name, value)
+        return worst
+
+    def shed_pressure(self, stage: str, window: Optional[float] = None) -> int:
+        """Sheds attributed to ``stage`` within the trailing ``window``.
+
+        Counts the ``shed.{stage}`` series (fed by the ledger subscriber
+        the moment each record lands), so a recovery decision can rank
+        ladder rungs by which stage is *currently* losing work.  The
+        window defaults to the forecast horizon.
+        """
+        series = self.store.get(f"shed.{stage}")
+        if series is None:
+            return 0
+        if window is None:
+            window = self.config.horizon
+        return len(series.since(self.env.now - window))
+
+    def signal(self, kind: str, value: float, subject: str = "") -> float:
+        """Record forecaster evidence ahead of a proactive action.
+
+        Returns the signal time; the ``predictive_actions_bounded`` DST
+        invariant requires every proactive trace step to be preceded by
+        one of these at or before its transition time.
+        """
+        now = self.env.now
+        self.store.append(f"signal.{kind}", now, float(value))
+        self.signals += 1
+        REGISTRY.count("analytics.signals")
+        if subject:
+            self.pipe.telemetry.mark(
+                now, f"predictive signal {kind}: {subject} -> {value:.3f}"
+            )
+        return now
+
+    def as_dict(self) -> dict:
+        return {
+            "config": self.config.as_dict(),
+            "samples": self.samples,
+            "signals": self.signals,
+            "series": self.store.names(),
+        }

@@ -130,6 +130,9 @@ class Pipeline:
         #: overload controllers, attached by the builder when enabled
         self.backpressure = None
         self.brownout = None
+        #: predictive manager (repro.analytics), attached by the builder
+        #: when the spec's overload block says ``mode: predictive``
+        self.analytics = None
 
     def run(self, settle: float = 60.0, deadline: Optional[float] = None) -> bool:
         """Run until the driver finishes (plus ``settle`` seconds of drain).
@@ -162,6 +165,8 @@ class Pipeline:
                 self.backpressure.stop()
             if self.brownout is not None:
                 self.brownout.stop()
+            if self.analytics is not None:
+                self.analytics.stop()
         # Attribute wall-clock to engine overhead: events processed,
         # tombstones skipped, heap high-water mark (delta-published, so a
         # later drain/publish never double-counts).  getattr-guarded so the
@@ -393,6 +398,7 @@ class PipelineBuilder:
         manager_lease_timeout: Optional[float] = None,
         backpressure=False,
         brownout=False,
+        predictive=False,
         tenant: Optional[str] = None,
     ):
         self.env = env
@@ -440,6 +446,10 @@ class PipelineBuilder:
         #: True = defaults, or a dict of config overrides for the controller
         self.backpressure = backpressure
         self.brownout = brownout
+        #: forecast-driven management: False = reactive controllers only
+        #: (byte-identical schedules), True = PredictiveConfig defaults,
+        #: or a dict of PredictiveConfig overrides
+        self.predictive = predictive
 
     def build(self) -> Pipeline:
         env = self.env
@@ -654,6 +664,35 @@ class PipelineBuilder:
             step, "lammps", "backpressure_stride", env.now
         )
 
+        # Ladder transitions and shed records publish their deltas into
+        # telemetry as they happen (pure bookkeeping: no events, and a run
+        # that never degrades or sheds records nothing).
+        telemetry = pipe.telemetry
+
+        def _publish_transition(step, trace, _t=telemetry):
+            _t.record("overload", "degradation_level", step.time,
+                      float(trace.overall_level))
+            _t.record("overload", "time_in_degraded", step.time,
+                      trace.time_in_degraded(step.time))
+
+        def _publish_shed(record, ledger, _t=telemetry):
+            _t.record("overload", "shed_steps", record.time,
+                      float(len(ledger.steps())))
+
+        pipe.degradation.subscribers.append(_publish_transition)
+        pipe.shed_ledger.subscribers.append(_publish_shed)
+
+        predictor = None
+        if self.predictive:
+            from repro.analytics import PredictiveConfig, PredictiveManager
+
+            pm_kwargs = self.predictive if isinstance(self.predictive, dict) else {}
+            predictor = PredictiveManager(
+                env, pipe, config=PredictiveConfig(**pm_kwargs)
+            )
+            predictor.attach(pipe)
+            pipe.analytics = predictor
+
         if self.backpressure:
             from repro.overload import BackpressureController, LinkCredits
 
@@ -661,7 +700,8 @@ class PipelineBuilder:
                 link.credits = LinkCredits(env, link)
             bp_kwargs = self.backpressure if isinstance(self.backpressure, dict) else {}
             pipe.backpressure = BackpressureController(
-                env, pipe, degradation=pipe.degradation, **bp_kwargs
+                env, pipe, degradation=pipe.degradation, predictor=predictor,
+                **bp_kwargs
             )
         if self.brownout:
             from repro.overload import BrownoutConfig, BrownoutController, NullPolicy
@@ -672,7 +712,7 @@ class PipelineBuilder:
             bo_kwargs = self.brownout if isinstance(self.brownout, dict) else {}
             pipe.brownout = BrownoutController(
                 env, gm, config=BrownoutConfig(**bo_kwargs),
-                degradation=pipe.degradation,
+                degradation=pipe.degradation, predictor=predictor,
             )
 
         # Monitoring transport: direct manager-to-manager messages (default)

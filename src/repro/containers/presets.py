@@ -109,6 +109,27 @@ def build_overload_pipeline(
     return build_spec(env, spec, **overrides)
 
 
+def build_predictive_pipeline(
+    env: Environment,
+    steps: int = 16,
+    seed: int = 1,
+    **overrides,
+) -> Pipeline:
+    """The overload preset under ``mode: predictive``.
+
+    Identical workload, buffers and burst exposure to
+    :func:`build_overload_pipeline` — the only delta is the spec's
+    overload block, which attaches the :mod:`repro.analytics` forecaster
+    stack to the brownout/backpressure controllers.  This is the
+    predictive half of the head-to-head experiment.
+    """
+    spec = load_preset("predictive").override(
+        workload=dict(steps=steps),
+        builder=dict(seed=seed),
+    )
+    return build_spec(env, spec, **overrides)
+
+
 def build_s3d_pipeline(
     env: Environment,
     steps: int = 8,
@@ -131,5 +152,6 @@ def build_s3d_pipeline(
 PIPELINE_PRESETS: Dict[str, Callable[..., Pipeline]] = {
     "fig7": build_fig7_pipeline,
     "overload": build_overload_pipeline,
+    "predictive": build_predictive_pipeline,
     "s3d": build_s3d_pipeline,
 }

@@ -300,6 +300,79 @@ class MonotonePerf(Invariant):
 
 
 @register
+class PredictiveActionsBounded(Invariant):
+    """Forecast-driven actions stay evidenced and rung-by-rung.
+
+    On predictive pipelines (``pipe.analytics`` attached) three properties
+    must hold on every schedule:
+
+    * every proactive transition in the degradation trace is preceded by
+      recorded forecaster evidence — a ``signal.*`` sample in the series
+      store at or before the transition time (the controllers emit the
+      signal *before* executing the protocol);
+    * the ladder never skips rungs: consecutive transitions of one
+      controller kind change its level by exactly one; and
+    * forecast-built rungs stay bounded and harmless — at most
+      ``max_proactive_level`` proactive rungs on the brownout stack at
+      once, and every proactive brownout action is one of the configured
+      non-shedding ``proactive_kinds``.
+
+    No-op on reactive pipelines: without the forecaster stack there is
+    nothing proactive to audit.
+    """
+
+    name = "predictive_actions_bounded"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        analytics = getattr(pipe, "analytics", None)
+        if analytics is None:
+            return []
+        problems: List[str] = []
+        store = analytics.store
+        signal_times = [
+            ts
+            for name in store.names() if name.startswith("signal.")
+            for ts, _ in store.get(name).window()
+        ]
+        trace = pipe.degradation
+        levels: Dict[str, int] = {}
+        for step in trace.steps:
+            prev = levels.get(step.kind, 0)
+            if abs(step.level - prev) != 1:
+                problems.append(
+                    f"{step.kind} ladder skipped rungs at t={step.time}: "
+                    f"level {prev} -> {step.level} ({step.action})"
+                )
+            levels[step.kind] = step.level
+            if not step.detail.get("proactive"):
+                continue
+            if not any(ts <= step.time for ts in signal_times):
+                problems.append(
+                    f"proactive {step.kind}/{step.action} at t={step.time} "
+                    f"has no preceding forecaster signal in the store"
+                )
+            if (step.kind == "brownout"
+                    and step.action not in analytics.config.proactive_kinds):
+                problems.append(
+                    f"proactive brownout action {step.action!r} at "
+                    f"t={step.time} outside proactive_kinds "
+                    f"{analytics.config.proactive_kinds}"
+                )
+        brownout = getattr(pipe, "brownout", None)
+        if brownout is not None and brownout.predictor is not None:
+            cap = brownout.predictor.config.max_proactive_level
+            count = sum(
+                1 for entry in brownout._stack if entry[-1] == "proactive"
+            )
+            if count > cap:
+                problems.append(
+                    f"{count} proactive rungs on the brownout stack "
+                    f"exceeds max_proactive_level {cap}"
+                )
+        return problems
+
+
+@register
 class NoCrossTenantNodeLeak(Invariant):
     """Fleet-wide exclusivity: every staging node lives in exactly one
     place — one tenant's pool or the arbiter's spare list — and each

@@ -47,6 +47,15 @@ def overload(env: Environment) -> Pipeline:
     return build(env, load_preset("overload").override(workload=dict(steps=12)))
 
 
+@preset("predictive")
+def predictive(env: Environment) -> Pipeline:
+    """The overload scenario under ``mode: predictive``: identical burst
+    exposure, but the :mod:`repro.analytics` forecaster stack drives the
+    controllers — the ``predictive_actions_bounded`` oracle audits its
+    signal-before-action discipline on every schedule."""
+    return build(env, load_preset("predictive").override(workload=dict(steps=12)))
+
+
 @preset("smoke_no_spares")
 def smoke_no_spares(env: Environment) -> Pipeline:
     """Same mix with an empty spare pool: replacement must steal capacity,

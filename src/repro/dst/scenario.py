@@ -71,7 +71,9 @@ def overload_plan(seed: int, pipe: Pipeline) -> FaultPlan:
 
 def plan_for(preset: str) -> PlanFactory:
     """The default plan factory for a preset name."""
-    return overload_plan if preset == "overload" else default_smoke_plan
+    if preset in ("overload", "predictive"):
+        return overload_plan
+    return default_smoke_plan
 
 
 @dataclass

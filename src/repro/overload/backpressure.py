@@ -49,6 +49,7 @@ class BackpressureController:
         dwell_ticks: int = 2,
         min_window: int = 1,
         degradation: Optional[DegradationTrace] = None,
+        predictor=None,
     ):
         if not 0.0 <= lo < hi <= 1.0:
             raise ValueError(f"need 0 <= lo < hi <= 1, got lo={lo} hi={hi}")
@@ -64,6 +65,10 @@ class BackpressureController:
             degradation if degradation is not None
             else getattr(pipe, "degradation", None) or DegradationTrace()
         )
+        #: optional :class:`~repro.analytics.predictive.PredictiveManager`;
+        #: None (the default) keeps the controller purely reactive with a
+        #: byte-identical event schedule
+        self.predictor = predictor
         self._calm_ticks = 0
         self._stopped = False
         self._proc = env.process(self._run(), name="backpressure")
@@ -131,6 +136,13 @@ class BackpressureController:
             (w.buffer.occupancy for r in replicas for w in r.writers.values()),
             default=0.0,
         )
+        if self.predictor is not None:
+            # Tighten against the forecast consumer congestion, not just
+            # the observed one: credits shrink a horizon ahead of the
+            # buffer actually filling.
+            fc = self.predictor.forecast(f"{consumer.name}.buffer_occupancy")
+            if fc is not None and fc > occ:
+                occ = min(1.0, fc)
         # One credit of slack per producer keeps a drained pipeline primed.
         slack = len(link.writers)
         return max(self.min_window, int((free + slack) * (1.0 - occ)))
@@ -152,25 +164,61 @@ class BackpressureController:
             else 0
         )
         stride = driver.output_stride
-        if occupancy >= self.hi:
+        forecast = (
+            self.predictor.forecast("sim.buffer_occupancy")
+            if self.predictor is not None else None
+        )
+        # Pre-emptive stride: act on the darker of observed and forecast
+        # occupancy, so the stride doubles a horizon before the buffers
+        # actually hit the high-water mark.  Armed only past the midpoint
+        # of the hysteresis band: a healthy write/drain cycle parks below
+        # it, and its sawtooth extrapolates steeply but must not trip the
+        # stride.
+        effective = occupancy
+        armed = occupancy > 0.5 * (self.lo + self.hi)
+        if forecast is not None and forecast > occupancy and armed:
+            effective = min(1.0, forecast)
+        if effective >= self.hi:
             self._calm_ticks = 0
             if stride < self.max_stride:
-                self._set_stride(driver, stride * 2, "stride_up", occupancy)
+                proactive = occupancy < self.hi
+                if proactive:
+                    self.predictor.signal("buffer_occupancy", effective)
+                self._set_stride(driver, stride * 2, "stride_up", occupancy,
+                                 proactive=proactive)
         elif occupancy <= self.lo and backlog == 0:
             self._calm_ticks += 1
-            if self._calm_ticks >= self.dwell_ticks and stride > 1:
+            # A forecast that agrees the buffers stay drained collapses
+            # the calm dwell to one tick: stride unwinds sooner, shedding
+            # fewer steps on the way down.  Not while the brownout ladder
+            # still holds stride/offline rungs, though — steps released
+            # into a decimating pipeline are shed downstream anyway, at
+            # the cost of having been transported first.
+            need = self.dwell_ticks
+            if (forecast is not None and forecast <= self.lo
+                    and not self._downstream_decimating()):
+                need = 1
+            if self._calm_ticks >= need and stride > 1:
                 self._set_stride(driver, stride // 2, "stride_down", occupancy)
                 self._calm_ticks = 0
         else:
             self._calm_ticks = 0
 
-    def _set_stride(self, driver, stride: int, action: str, occupancy: float) -> None:
+    def _downstream_decimating(self) -> bool:
+        """True while the brownout undo stack holds stride/offline rungs."""
+        brownout = getattr(self.pipe, "brownout", None)
+        if brownout is None:
+            return False
+        return any(entry[0] in ("stride", "offline") for entry in brownout._stack)
+
+    def _set_stride(self, driver, stride: int, action: str, occupancy: float,
+                    proactive: bool = False) -> None:
         driver.output_stride = stride
         level = stride.bit_length() - 1  # 1 -> 0, 2 -> 1, 4 -> 2, 8 -> 3
-        self.trace.record(
-            self.env.now, "backpressure", action, level,
-            stride=stride, occupancy=round(occupancy, 3),
-        )
+        detail = {"stride": stride, "occupancy": round(occupancy, 3)}
+        if proactive:
+            detail["proactive"] = True
+        self.trace.record(self.env.now, "backpressure", action, level, **detail)
         REGISTRY.count(f"overload.{action}")
         self.pipe.telemetry.mark(
             self.env.now, f"backpressure {action}: output 1/{stride}"

@@ -79,10 +79,16 @@ class DegradationTrace:
         self._levels: Dict[str, int] = {}
         self._intervals: List[tuple] = []
         self._entered: Optional[float] = None
+        #: callables invoked as ``fn(step, trace)`` after every recorded
+        #: transition — this is how ``time_in_degraded`` and level deltas
+        #: reach live consumers (telemetry, the analytics series store)
+        #: mid-run instead of only at pipeline end
+        self.subscribers: List = []
 
     def record(self, time: float, kind: str, action: str, level: int, **detail) -> None:
         prev = self.overall_level
-        self.steps.append(DegradationStep(float(time), kind, action, int(level), detail))
+        step = DegradationStep(float(time), kind, action, int(level), detail)
+        self.steps.append(step)
         self._levels[kind] = int(level)
         cur = self.overall_level
         if prev == 0 and cur > 0:
@@ -90,6 +96,8 @@ class DegradationTrace:
         elif prev > 0 and cur == 0 and self._entered is not None:
             self._intervals.append((self._entered, float(time)))
             self._entered = None
+        for fn in self.subscribers:
+            fn(step, self)
 
     # -- summary metrics ----------------------------------------------------------
 
@@ -160,15 +168,26 @@ class BrownoutController:
     """Drives the escalate/recover protocols off the GM's metric snapshot."""
 
     def __init__(self, env, global_manager, config: Optional[BrownoutConfig] = None,
-                 telemetry=None, degradation: Optional[DegradationTrace] = None):
+                 telemetry=None, degradation: Optional[DegradationTrace] = None,
+                 predictor=None):
         self.env = env
         self.gm = global_manager
         self.config = config or BrownoutConfig()
         self.telemetry = telemetry if telemetry is not None else global_manager.telemetry
         self.trace = degradation if degradation is not None else DegradationTrace()
+        #: optional :class:`~repro.analytics.predictive.PredictiveManager`;
+        #: when None (the default) the controller is purely reactive and
+        #: its event schedule is byte-identical to the pre-analytics tree
+        self.predictor = predictor
         #: undo stack: one entry per escalation, unwound in reverse
         self._stack: List[tuple] = []
         self._ok_since: Optional[float] = None
+        # Premature-recovery memory (predictive only): when the offline
+        # rung is rebuilt shortly after its last undo, the next
+        # undo_offline waits a doubled dwell — the catch-up flood that
+        # re-wedged once will re-wedge again on the same schedule.
+        self._last_undo_offline: Optional[float] = None
+        self._offline_backoff: float = 1.0
         self._stopped = False
         self._proc = env.process(self._run(), name="brownout")
 
@@ -189,7 +208,7 @@ class BrownoutController:
         cfg = self.config
         while True:
             try:
-                yield self.env.timeout(cfg.check_interval)
+                yield self.env.timeout(self._check_interval())
             except Interrupt:
                 return
             if self._stopped:
@@ -198,22 +217,34 @@ class BrownoutController:
             if ratio is None:
                 continue
             self.telemetry.record("overload", "sla_ratio", self.env.now, ratio)
-            if ratio > cfg.escalate_ratio:
+            exec_ratio, proactive = ratio, False
+            if ratio <= cfg.escalate_ratio and self.predictor is not None:
+                risk = self._forecast_risk()
+                if risk is not None:
+                    worst, exec_ratio, proactive = risk[0], risk[1], True
+            if ratio > cfg.escalate_ratio or proactive:
                 self._ok_since = None
+                data = {"bc": self, "gm": self.gm, "worst": worst,
+                        "ratio": exec_ratio}
+                if self.predictor is not None:
+                    data["proactive"] = proactive
+                    if proactive:
+                        # The evidence lands in the series store *before*
+                        # the protocol runs; the predictive_actions_bounded
+                        # invariant audits this ordering.
+                        self.predictor.signal("sla_risk", exec_ratio, subject=worst)
                 request = self.gm.control_lock.request()
                 yield request
                 try:
                     yield self.gm.engine.execute(
-                        protocols.BROWNOUT_ESCALATE, subject=worst,
-                        data={"bc": self, "gm": self.gm, "worst": worst,
-                              "ratio": ratio},
+                        protocols.BROWNOUT_ESCALATE, subject=worst, data=data,
                     )
                 finally:
                     self.gm.control_lock.release(request)
             elif ratio <= cfg.recover_ratio and self._stack:
                 if self._ok_since is None:
                     self._ok_since = self.env.now
-                elif self.env.now - self._ok_since >= cfg.dwell:
+                elif self.env.now - self._ok_since >= self._recovery_dwell():
                     request = self.gm.control_lock.request()
                     yield request
                     try:
@@ -230,6 +261,82 @@ class BrownoutController:
                 # Inside the hysteresis band: neither escalate nor count
                 # toward recovery dwell.
                 self._ok_since = None
+
+    def _check_interval(self) -> float:
+        """Seconds until the next SLA check.
+
+        When the forecaster confirms the violation will persist, the
+        control loop tightens: the ladder still climbs one rung per
+        check — never skipping — but checks come ``escalation_check_factor``
+        times as often, so the shedding stride rungs give way to the
+        queueing ``offline`` rung sooner.  Reactive controllers
+        (``predictor is None``) always pace at ``check_interval``.
+        """
+        interval = self.config.check_interval
+        if self.predictor is None:
+            return interval
+        factor = self.predictor.config.escalation_check_factor
+        risk = self.predictor.sla_risk()
+        if risk is not None and risk[1] > self.predictor.config.risk_threshold:
+            return interval * factor
+        # Mid-recovery with the forecast confirming calm, checks tighten
+        # too: the shortened dwell is otherwise quantized back up to the
+        # reactive check cadence.
+        if self._stack and (risk is None or risk[1] <= self.config.recover_ratio):
+            return interval * factor
+        return interval
+
+    def _forecast_risk(self):
+        """(name, forecast ratio) when a proactive escalation is warranted.
+
+        Bounded two ways: the forecast SLA ratio must clear the risk
+        threshold, and forecasts alone may only hold
+        ``max_proactive_level`` rungs on the stack at once — past that,
+        growing the ladder again takes an observed violation.  Only
+        forecast-built rungs count against the budget: a deep ladder of
+        observed rungs must not lock out the proactive capacity rung
+        that would absorb, say, a post-recovery catch-up surge.
+        """
+        pcfg = self.predictor.config
+        proactive_rungs = sum(
+            1 for entry in self._stack if entry[-1] == "proactive"
+        )
+        if proactive_rungs >= pcfg.max_proactive_level:
+            return None
+        risk = self.predictor.sla_risk()
+        if risk is None or risk[1] <= pcfg.risk_threshold:
+            return None
+        # Arming guard: only act on a forecast while a *fresh* observed
+        # ratio is already out of the recovery band.  A calm pipeline with
+        # a stale high EWMA tail must not re-escalate (it would oscillate
+        # against the recovery dwell), a container that stopped reporting
+        # (offline, idle) must not be judged on its frozen last sample,
+        # and startup ramps must not trip the ladder.
+        series = self.predictor.store.get(f"{risk[0]}.sla_ratio")
+        last = series.last() if series is not None else None
+        if last is None or last[1] <= self.config.recover_ratio:
+            return None
+        if self.env.now - last[0] > 2.0 * pcfg.sample_interval:
+            return None
+        return risk
+
+    def _recovery_dwell(self) -> float:
+        """The hold time before unwinding a rung.
+
+        A forecast that agrees the pipeline will *stay* calm shortens the
+        dwell — recovery accelerates when level and trend both sit below
+        the recovery threshold.
+        """
+        dwell = self.config.dwell
+        if self.predictor is None:
+            return dwell
+        if (self._stack and self._stack[-1][0] == "offline"
+                and self._offline_backoff > 1.0):
+            return dwell * self._offline_backoff
+        risk = self.predictor.sla_risk()
+        if risk is not None and risk[1] <= self.config.recover_ratio:
+            dwell *= self.predictor.config.recovery_dwell_factor
+        return dwell
 
     def _sla_ratio(self):
         """Worst latency / SLA ratio over online, active containers."""
@@ -252,8 +359,16 @@ class BrownoutController:
         action = self._choose(states, ctx["worst"])
         if action is None:
             raise ProtocolExit({"action": None})
+        if (ctx.get("proactive")
+                and action["kind"] not in self.predictor.config.proactive_kinds):
+            # A forecast alone never sheds work: the stride/offline rungs
+            # wait for an observed violation.
+            raise ProtocolExit({"action": None, "deferred": action["kind"]})
         ctx["action"] = action
-        ctx.round(f"observe: {ctx['worst']} at {ctx['ratio']:.2f}x SLA")
+        label = f"observe: {ctx['worst']} at {ctx['ratio']:.2f}x SLA"
+        if ctx.get("proactive"):
+            label += " (forecast)"
+        ctx.round(label)
 
     def _choose(self, states, worst: str) -> Optional[dict]:
         """First applicable rung of the ladder, in escalation order."""
@@ -298,9 +413,16 @@ class BrownoutController:
         action = ctx["action"]
         gm = self.gm
         try:
+            # Forecast-built rungs carry a trailing marker so the proactive
+            # budget counts them (and only them) while they sit on the
+            # stack; both kinds unwind as no-ops, so the longer tuples
+            # never reach a positional unpack.
+            tag = ("proactive",) if ctx.get("proactive") else ()
             if action["kind"] == "increase":
                 yield gm.increase(action["name"], action["count"])
-                self._stack.append(("increase", action["name"], action["count"]))
+                self._stack.append(
+                    ("increase", action["name"], action["count"]) + tag
+                )
             elif action["kind"] == "steal":
                 freed = yield gm.steal(
                     action["donor"], action["recipient"], action["count"]
@@ -308,7 +430,7 @@ class BrownoutController:
                 if not freed:
                     raise ProtocolAbort("steal yielded no nodes")
                 self._stack.append(
-                    ("steal", action["donor"], action["recipient"], len(freed))
+                    ("steal", action["donor"], action["recipient"], len(freed)) + tag
                 )
             elif action["kind"] == "stride":
                 accepted = yield gm.set_stride(action["name"], action["new"])
@@ -316,6 +438,16 @@ class BrownoutController:
                     raise ProtocolAbort(f"stride refused by {action['name']}")
                 self._stack.append(("stride", action["name"], action["old"]))
             elif action["kind"] == "offline":
+                cap = (
+                    self.predictor.config.offline_backoff_cap
+                    if self.predictor is not None else 1.0
+                )
+                if (self._last_undo_offline is not None
+                        and self.env.now - self._last_undo_offline
+                        <= 2.0 * self.config.dwell):
+                    self._offline_backoff = min(self._offline_backoff * 2.0, cap)
+                else:
+                    self._offline_backoff = 1.0
                 # Capture what the cascade will take down (and at what size)
                 # before it runs, so recovery can rebuild upstream-first.
                 import networkx as nx
@@ -336,6 +468,9 @@ class BrownoutController:
         action = ctx["action"]
         level = self.level
         detail = {k: v for k, v in action.items() if k != "kind"}
+        if ctx.get("proactive"):
+            detail["proactive"] = True
+            detail["forecast_ratio"] = round(ctx["ratio"], 4)
         self.trace.record(self.env.now, "brownout", action["kind"], level, **detail)
         self.telemetry.mark(
             self.env.now, f"brownout escalate L{level}: {action['kind']}"
@@ -350,8 +485,39 @@ class BrownoutController:
     def _rec_observe(self, ctx) -> None:
         if not self._stack:
             raise ProtocolExit({"undone": None})
-        ctx["entry"] = self._stack[-1]
+        index = len(self._stack) - 1
+        if self.predictor is not None:
+            index = self._choose_unwind()
+        ctx["entry_index"] = index
+        ctx["entry"] = self._stack[index]
         ctx.round(f"observe: unwind {ctx['entry'][0]}")
+
+    def _choose_unwind(self) -> int:
+        """Stack index recovery should undo next.
+
+        Reactive recovery is strict LIFO.  With a forecaster attached the
+        choice is demand-guided: among the *topmost* stride rung of each
+        strided container, undo the one whose stage shed the most work
+        inside the trailing forecast horizon — that stride is the one
+        actively decimating live data, while a stride on a quiet stage
+        can wait.  Same-container rungs still unwind in reverse push
+        order (only the topmost per container is a candidate), ``offline``
+        still unwinds first (it is always the top of the stack when
+        present), and zero shed pressure everywhere degrades to LIFO.
+        """
+        top = len(self._stack) - 1
+        if self._stack[top][0] != "stride":
+            return top
+        latest: dict = {}
+        for i, entry in enumerate(self._stack):
+            if entry[0] == "stride":
+                latest[entry[1]] = i
+        if len(latest) <= 1:
+            return top
+        return max(
+            latest.values(),
+            key=lambda i: (self.predictor.shed_pressure(self._stack[i][1]), i),
+        )
 
     def _rec_act(self, ctx):
         entry = ctx["entry"]
@@ -379,7 +545,9 @@ class BrownoutController:
                 yield self.env.timeout(0)
         except SimulationError as exc:
             raise ProtocolAbort(f"recovery failed: {exc}") from exc
-        self._stack.pop()
+        if entry[0] == "offline":
+            self._last_undo_offline = self.env.now
+        self._stack.pop(ctx.get("entry_index", len(self._stack) - 1))
 
     def _rec_record(self, ctx) -> None:
         entry = ctx["entry"]

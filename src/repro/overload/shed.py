@@ -66,6 +66,10 @@ class ShedLedger:
         self.is_delivered = is_delivered
         self.suppressed = 0
         self._steps: Set[int] = set()
+        #: callables invoked as ``fn(record, ledger)`` after every
+        #: accounted shed, so live consumers (the analytics series store)
+        #: see shed deltas as they happen rather than at pipeline end
+        self.subscribers: List[Callable] = []
 
     def record(
         self,
@@ -82,9 +86,12 @@ class ShedLedger:
             self.suppressed += 1
             REGISTRY.count("overload.shed_suppressed")
             return False
-        self.records.append(ShedRecord(int(timestep), stage, reason, float(time), chunk_id))
+        record = ShedRecord(int(timestep), stage, reason, float(time), chunk_id)
+        self.records.append(record)
         self._steps.add(int(timestep))
         REGISTRY.count("overload.shed")
+        for fn in self.subscribers:
+            fn(record, self)
         return True
 
     # -- accounting views ---------------------------------------------------------

@@ -19,9 +19,11 @@ dimension of the DST sweep.
 
 from repro.spec.model import (
     BUILDER_KEYS,
+    OVERLOAD_MODES,
     TRANSPORTS,
     FaultEventSpec,
     FaultSpec,
+    OverloadPolicyBlock,
     PipelineSpec,
     SpecError,
     StageSpec,
@@ -43,9 +45,11 @@ from repro.spec.build import (
 
 __all__ = [
     "BUILDER_KEYS",
+    "OVERLOAD_MODES",
     "TRANSPORTS",
     "FaultEventSpec",
     "FaultSpec",
+    "OverloadPolicyBlock",
     "PipelineSpec",
     "SpecError",
     "StageSpec",

@@ -77,6 +77,8 @@ def build(
     stages = spec.stage_configs()
     if stages is not None:
         kwargs["stages"] = stages
+    if spec.overload is not None and spec.overload.mode == "predictive":
+        kwargs["predictive"] = spec.overload.predictive_kwargs() or True
     kwargs.update(overrides)
     pipe = PipelineBuilder(env, spec.workload.to_workload(), **kwargs).build()
     pipe.spec = spec

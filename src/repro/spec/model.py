@@ -288,6 +288,56 @@ class TenantSpecBlock:
         return cls(**_checked_kwargs(cls, data, "tenant"))
 
 
+#: overload-policy modes a spec may name
+OVERLOAD_MODES: Tuple[str, ...] = ("reactive", "predictive")
+
+
+@dataclass(frozen=True)
+class OverloadPolicyBlock:
+    """How the pipeline handles overload.
+
+    ``reactive`` (the default, and the paper's GM) escalates on observed
+    SLA violations only; ``predictive`` attaches a
+    :class:`~repro.analytics.predictive.PredictiveManager` so the
+    brownout and backpressure controllers act on forecasts.  The tuning
+    fields are optional overrides of
+    :class:`~repro.analytics.predictive.PredictiveConfig` defaults;
+    ``None`` means "use the default", and they are only meaningful under
+    ``mode: predictive``.
+    """
+
+    mode: str = "reactive"
+    sample_interval: Optional[float] = None
+    horizon: Optional[float] = None
+    risk_threshold: Optional[float] = None
+    max_proactive_level: Optional[int] = None
+    recovery_dwell_factor: Optional[float] = None
+
+    def predictive_kwargs(self) -> dict:
+        """The set tuning fields, as PredictiveConfig keyword overrides."""
+        out = {}
+        for key in ("sample_interval", "horizon", "risk_threshold",
+                    "max_proactive_level", "recovery_dwell_factor"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "sample_interval": self.sample_interval,
+            "horizon": self.horizon,
+            "risk_threshold": self.risk_threshold,
+            "max_proactive_level": self.max_proactive_level,
+            "recovery_dwell_factor": self.recovery_dwell_factor,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OverloadPolicyBlock":
+        return cls(**_checked_kwargs(cls, data, "overload"))
+
+
 @dataclass(frozen=True)
 class PipelineSpec:
     """One pipeline, declaratively.  See the module docstring.
@@ -310,6 +360,8 @@ class PipelineSpec:
     sla: Optional[float] = None
     faults: Optional[FaultSpec] = None
     tenant: Optional[TenantSpecBlock] = None
+    #: overload-policy selection (None = reactive, the historical default)
+    overload: Optional[OverloadPolicyBlock] = None
 
     def __post_init__(self):
         # freeze the builder mapping so the spec hashes/compares by value
@@ -384,6 +436,7 @@ class PipelineSpec:
             "sla": self.sla,
             "faults": None if self.faults is None else self.faults.as_dict(),
             "tenant": None if self.tenant is None else self.tenant.as_dict(),
+            "overload": None if self.overload is None else self.overload.as_dict(),
         }
 
     @classmethod
@@ -405,6 +458,8 @@ class PipelineSpec:
             kwargs["faults"] = FaultSpec.from_dict(kwargs["faults"])
         if kwargs.get("tenant") is not None:
             kwargs["tenant"] = TenantSpecBlock.from_dict(kwargs["tenant"])
+        if kwargs.get("overload") is not None:
+            kwargs["overload"] = OverloadPolicyBlock.from_dict(kwargs["overload"])
         return cls(**kwargs)
 
     def to_yaml(self) -> str:

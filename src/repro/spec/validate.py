@@ -26,6 +26,7 @@ from typing import List
 
 from repro.spec.model import (
     BUILDER_KEYS,
+    OVERLOAD_MODES,
     TRANSPORTS,
     FaultSpec,
     PipelineSpec,
@@ -65,6 +66,8 @@ def validate(spec: PipelineSpec) -> PipelineSpec:
         _validate_faults(spec, spec.faults)
     if spec.tenant is not None:
         _validate_tenant(spec)
+    if spec.overload is not None:
+        _validate_overload(spec)
     return spec
 
 
@@ -262,6 +265,34 @@ def _validate_faults(spec: PipelineSpec, faults: FaultSpec) -> None:
                       duration=ev.duration, severity=ev.severity)
         except ValueError as exc:
             raise SpecError(f"faults.events[{i}]: {exc}") from None
+
+
+def _validate_overload(spec: PipelineSpec) -> None:
+    ov = spec.overload
+    if ov.mode not in OVERLOAD_MODES:
+        raise SpecError(
+            f"overload.mode must be one of {list(OVERLOAD_MODES)}, got {ov.mode!r}"
+        )
+    for key in ("sample_interval", "horizon", "risk_threshold"):
+        value = getattr(ov, key)
+        if value is not None and value <= 0:
+            raise SpecError(f"overload.{key} must be positive, got {value}")
+    if ov.max_proactive_level is not None and ov.max_proactive_level < 0:
+        raise SpecError(
+            f"overload.max_proactive_level must be >= 0, got {ov.max_proactive_level}"
+        )
+    if ov.recovery_dwell_factor is not None and not 0.0 < ov.recovery_dwell_factor <= 1.0:
+        raise SpecError(
+            f"overload.recovery_dwell_factor must be in (0, 1], "
+            f"got {ov.recovery_dwell_factor}"
+        )
+    if ov.mode == "predictive":
+        b = spec.builder
+        if not b.get("backpressure") and not b.get("brownout"):
+            raise SpecError(
+                "overload.mode: predictive needs a controller to feed — "
+                "enable builder.backpressure and/or builder.brownout"
+            )
 
 
 def _validate_tenant(spec: PipelineSpec) -> None:

@@ -197,6 +197,61 @@ class TestBrownoutLadderGolden:
         assert degradations[0] == degradations[1] == degradations[2]
 
 
+def _run_predictive_brownout_scenario():
+    """The same seeded overload run as :func:`_run_brownout_scenario`, but
+    built from the ``predictive`` preset: the forecaster stack drives the
+    proactive ladder, premature-recovery backoff and shed-guided unwind,
+    so the protocol sequence differs from the reactive golden — and is
+    pinned separately here."""
+    from repro.containers.presets import build_predictive_pipeline
+    from repro.overload.scenario import overload_burst_plan
+
+    env = Environment()
+    pipe = build_predictive_pipeline(env, steps=12, seed=3)
+    pipe.arm_faults(overload_burst_plan(3, pipe))
+    pipe.run(settle=600)
+    return pipe
+
+
+class TestPredictiveBrownoutLadderGolden:
+    """The proactive (``mode: predictive``) escalate/de-escalate ladders,
+    pinned round-for-round against their own golden."""
+
+    def test_ladder_matches_golden(self):
+        pipe = _run_predictive_brownout_scenario()
+        ladder = _brownout_ladder(pipe)
+        golden = GOLDEN["brownout_ladder_engine_predictive"]
+        assert len(ladder) == len(golden)
+        for got, want in zip(ladder, golden):
+            assert got["protocol"] == want["protocol"]
+            assert got["subject"] == want["subject"]
+            assert got["status"] == want["status"]
+            assert got["abort_reason"] == want["abort_reason"]
+            assert got["compensated"] == want["compensated"]
+            assert got["rounds"] == want["rounds"]
+            assert got["total"] == pytest.approx(want["total"], rel=0.25)
+        protocols = [t["protocol"] for t in ladder]
+        assert "brownout_escalate" in protocols
+        assert "brownout_recover" in protocols
+
+    def test_identical_across_three_runs(self):
+        ladders, degradations, analytics = [], [], []
+        for _ in range(3):
+            pipe = _run_predictive_brownout_scenario()
+            ladders.append(_brownout_ladder(pipe))
+            degradations.append(pipe.degradation.as_dicts())
+            analytics.append(pipe.analytics.as_dict())
+        assert ladders[0] == ladders[1] == ladders[2]
+        assert degradations[0] == degradations[1] == degradations[2]
+        assert analytics[0] == analytics[1] == analytics[2]
+
+    def test_predictive_ladder_diverges_from_reactive(self):
+        """The two goldens must not silently collapse into one another —
+        if they ever match, the predictive path stopped doing anything."""
+        assert (GOLDEN["brownout_ladder_engine_predictive"]
+                != GOLDEN["brownout_ladder_engine"])
+
+
 class TestD2TGolden:
     def test_commit_message_count_and_phases(self):
         """One committed 16:4 transaction: same wire messages, same phases."""

@@ -234,6 +234,78 @@ class TestPlantedBugIsCaughtAndShrunk:
         assert report.ok and report.finished
 
 
+# -- the predictive oracle ---------------------------------------------------------
+
+
+def _predictive_scenario(name="predictive"):
+    from repro.dst.scenario import plan_for
+
+    return DSTScenario(name=name, preset="predictive",
+                       plan=plan_for("predictive"))
+
+
+class TestPredictiveActionsBounded:
+    def test_green_predictive_run(self):
+        report = _predictive_scenario().run(0)
+        assert report.finished, [v.detail for v in report.violations]
+        assert report.ok, [v.detail for v in report.violations]
+        assert "--scenario predictive" in report.repro
+
+    def test_reactive_pipeline_is_a_noop(self):
+        pipe = DSTScenario(name="overload", preset="overload").build(None)
+        assert pipe.analytics is None
+        checker = INVARIANTS["predictive_actions_bounded"]()
+        assert checker.check(pipe, final=False) == []
+
+    def test_unevidenced_proactive_transition_flagged(self):
+        pipe = _predictive_scenario().build(None)
+        checker = INVARIANTS["predictive_actions_bounded"]()
+        # a proactive rung with no forecaster signal in the store
+        pipe.degradation.record(5.0, "brownout", "increase", 1, proactive=True)
+        problems = checker.check(pipe, final=False)
+        assert any("no preceding forecaster signal" in p for p in problems)
+
+    def test_signal_before_action_is_clean(self):
+        pipe = _predictive_scenario().build(None)
+        checker = INVARIANTS["predictive_actions_bounded"]()
+        pipe.analytics.signal("sla_risk", 1.3, subject="bonds")
+        pipe.degradation.record(5.0, "brownout", "increase", 1, proactive=True)
+        assert checker.check(pipe, final=False) == []
+
+    def test_proactive_shedding_rung_flagged(self):
+        """A forecast alone must never build a shedding rung — stride and
+        offline wait for an observed violation."""
+        pipe = _predictive_scenario().build(None)
+        checker = INVARIANTS["predictive_actions_bounded"]()
+        pipe.analytics.signal("sla_risk", 1.3, subject="bonds")
+        pipe.degradation.record(5.0, "brownout", "stride", 1, proactive=True)
+        problems = checker.check(pipe, final=False)
+        assert any("outside proactive_kinds" in p for p in problems)
+
+    def test_skipped_rung_caught_end_to_end(self):
+        """Planted bug: transitions recorded two levels at a time — the
+        sweep must catch the skipped rung."""
+
+        def double_levels(pipe):
+            trace = pipe.degradation
+            original = trace.record
+
+            def doubled(time, kind, action, level, **detail):
+                original(time, kind, action, level * 2, **detail)
+
+            trace.record = doubled
+
+        scenario = _predictive_scenario(name="skippy")
+        scenario.hook = double_levels
+        report = scenario.run(0)
+        assert not report.ok
+        assert any(
+            v.invariant == "predictive_actions_bounded"
+            and "skipped rungs" in v.detail
+            for v in report.violations
+        )
+
+
 # -- bench integration -------------------------------------------------------------
 
 

@@ -13,8 +13,8 @@ class TestRunners:
     def test_registry_covers_every_table_and_figure(self):
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig3", "fig4", "fig5", "fig6",
-            "fig7", "fig8", "fig9", "fig10", "overload", "dst", "fleet",
-            "specs",
+            "fig7", "fig8", "fig9", "fig10", "overload", "predictive",
+            "dst", "fleet", "specs",
         }
 
     def test_unknown_experiment_rejected(self):
