@@ -1,0 +1,150 @@
+"""Failover bench: degrade-to-disk spill/replay against reactive shedding.
+
+Runs the head-to-head failover experiment (see
+:func:`repro.experiments.figures.run_failover`): the same tight-buffer
+Figure-7 configuration and seeded burst as the overload bench, once with
+the lossy reactive stack (the paper's behavior — shed timesteps are gone)
+and once with the degrade-to-disk failover layer attached (every would-be
+shed spills to a durable segment store and is replayed once the pressure
+clears).  The acceptance bar is absolute: the reactive baseline must lose
+data under this burst, the failover run must end with a shed fraction of
+exactly 0.0 and 100% eventual delivery, the spill backlog must fully
+settle (no pending segments), and a rerun of the same seed must produce
+an identical spill ledger and identical handover records.
+
+Emits ``BENCH_failover.json`` at the repo root via the shared perf-report
+machinery (same schema as ``BENCH_kernels.json``): shed fractions on both
+sides, eventual delivery, catch-up time and worst replay latency, plus
+every ``failover.*`` counter the run accumulated.
+
+Smoke mode for CI: ``BENCH_SMOKE=1`` shrinks the run to 12 timesteps.
+
+Run standalone with ``PYTHONPATH=src python benchmarks/bench_failover.py``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.experiments.figures import run_failover
+from repro.perf.registry import REGISTRY
+from repro.perf.report import write_kernel_report
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+STEPS = 12 if SMOKE else 24
+SEED = 7
+REPORT_PATH = Path(__file__).resolve().parent.parent / "BENCH_failover.json"
+
+
+def failover_metrics(result):
+    """Sanity-check the failover experiment result and pull the headlines."""
+    reactive, fo = result["reactive"], result["failover"]
+    assert reactive["finished"], "reactive baseline did not finish"
+    assert fo["finished"], "failover run did not finish"
+    assert reactive["shed_fraction"] > 0.0, (
+        "the burst no longer sheds on the reactive baseline — "
+        "there is nothing for failover to save"
+    )
+    assert fo["shed_fraction"] == 0.0, fo["shed_by_reason"]
+    assert fo["eventual_delivery_pct"] == 100.0, fo["eventual_delivery_pct"]
+    assert fo["spill_pending"] == 0, f"{fo['spill_pending']} segments unsettled"
+    assert result["replay_identical"], "spill/replay records diverged on rerun"
+    assert fo["spilled_steps"] > 0, "failover run never spilled"
+    settled = fo["spill_by_status"]
+    assert set(settled) <= {"replayed", "superseded"}, settled
+    return {
+        "reactive_shed_fraction": reactive["shed_fraction"],
+        "reactive_delivery_pct": reactive["eventual_delivery_pct"],
+        "failover_shed_fraction": fo["shed_fraction"],
+        "failover_delivery_pct": fo["eventual_delivery_pct"],
+        "spilled_steps": fo["spilled_steps"],
+        "replayed_steps": settled.get("replayed", 0),
+        "superseded_steps": settled.get("superseded", 0),
+        "handovers": len(fo["handovers"]),
+        "catchup_s": fo["catchup_s"],
+        "max_replay_latency_s": fo["max_replay_latency_s"],
+        "shed_elimination_steps": result["shed_elimination_steps"],
+        "spill_by_reason": fo["spill_by_reason"],
+    }
+
+
+def run_suite():
+    result = run_failover(seed=SEED, steps=STEPS)
+    assert result["ok"], "failover experiment reported not-ok"
+    return failover_metrics(result)
+
+
+def emit_report(metrics):
+    perf = REGISTRY.snapshot()
+    failover_counters = {
+        k: v for k, v in perf["counters"].items()
+        if k.split(".")[0] in ("failover", "overload", "pipeline")
+    }
+    results = {
+        "failover.reactive_shed_fraction": metrics["reactive_shed_fraction"],
+        "failover.shed_fraction": metrics["failover_shed_fraction"],
+        "failover.eventual_delivery_pct": metrics["failover_delivery_pct"],
+        "failover.catchup_s": metrics["catchup_s"],
+        "failover.max_replay_latency_s": metrics["max_replay_latency_s"],
+    }
+    doc = write_kernel_report(
+        REPORT_PATH,
+        results,
+        counters={
+            **failover_counters,
+            "failover.spilled_steps": metrics["spilled_steps"],
+            "failover.replayed_steps": metrics["replayed_steps"],
+            "failover.superseded_steps": metrics["superseded_steps"],
+            "failover.handovers": metrics["handovers"],
+            "failover.shed_elimination_steps": metrics["shed_elimination_steps"],
+        },
+        meta={
+            "bench": "bench_failover",
+            "smoke": SMOKE,
+            "seed": SEED,
+            "steps": STEPS,
+            "spill_by_reason": metrics["spill_by_reason"],
+            "scenario": (
+                "fig7 mix, tight buffers, seeded burst/ramp slowdown; "
+                "reactive shedding vs degrade-to-disk spill/replay"
+            ),
+        },
+    )
+    return doc
+
+
+def test_failover_spill_replay(benchmark):
+    from conftest import print_table
+
+    metrics = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    doc = emit_report(metrics)
+    benchmark.extra_info.update(
+        {
+            "report": str(REPORT_PATH),
+            "reactive_shed_fraction": metrics["reactive_shed_fraction"],
+            "failover_shed_fraction": metrics["failover_shed_fraction"],
+            "failover_delivery_pct": metrics["failover_delivery_pct"],
+        }
+    )
+    print_table(
+        "Failover spill/replay metrics",
+        ["Metric", "Value"],
+        [[k, f"{v:.3f}" if isinstance(v, float) else str(v)]
+         for k, v in sorted(metrics.items())],
+    )
+    assert metrics["failover_shed_fraction"] == 0.0
+    assert metrics["failover_delivery_pct"] == 100.0
+
+
+def main():
+    metrics = run_suite()
+    emit_report(metrics)
+    for name, value in sorted(metrics.items()):
+        if isinstance(value, float):
+            print(f"{name:28s} {value:12.3f}")
+        else:
+            print(f"{name:28s} {value!s:>12}")
+    print(f"wrote {REPORT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

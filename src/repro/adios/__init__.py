@@ -15,6 +15,11 @@ A real on-disk serializer (:mod:`repro.adios.bp`, a BP-lite binary format
 for dicts of NumPy arrays plus attributes) backs the examples, while the
 simulated :class:`ParallelFileSystem` provides timing for in-simulation
 writes.
+
+The failover layer (:mod:`repro.adios.engine`, :mod:`repro.adios.spill`,
+:mod:`repro.adios.failover`) adds an SST-style streaming method and a
+degrade-to-disk spill/replay path behind one hot-swappable
+:class:`Engine` API — see DESIGN.md §4k.
 """
 
 from repro.adios.variable import AttributeSet, VarInfo
@@ -22,18 +27,55 @@ from repro.adios.group import Group
 from repro.adios.filesystem import ParallelFileSystem
 from repro.adios.bp import read_bp, write_bp
 from repro.adios.read_api import BpSeries, BpStep
-from repro.adios.methods import DataTapMethod, PosixMethod, TransportMethod
+from repro.adios.methods import (
+    DataTapMethod,
+    PosixMethod,
+    SstMethod,
+    TransportMethod,
+)
 from repro.adios.api import AdiosStream
+from repro.adios.engine import (
+    DataTapEngine,
+    Engine,
+    EngineSwitch,
+    FileEngine,
+    SstEngine,
+    SstStream,
+    SstSubscriber,
+)
+from repro.adios.spill import (
+    SPILL_REASONS,
+    SPILL_STATUSES,
+    SpillLedger,
+    SpillRecord,
+    SpillStore,
+)
+from repro.adios.failover import FailoverManager, FailoverPolicy
 
 __all__ = [
     "AdiosStream",
     "BpSeries",
     "BpStep",
     "AttributeSet",
+    "DataTapEngine",
     "DataTapMethod",
+    "Engine",
+    "EngineSwitch",
+    "FailoverManager",
+    "FailoverPolicy",
+    "FileEngine",
     "Group",
     "ParallelFileSystem",
     "PosixMethod",
+    "SPILL_REASONS",
+    "SPILL_STATUSES",
+    "SpillLedger",
+    "SpillRecord",
+    "SpillStore",
+    "SstEngine",
+    "SstMethod",
+    "SstStream",
+    "SstSubscriber",
     "TransportMethod",
     "VarInfo",
     "read_bp",

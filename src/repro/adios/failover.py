@@ -1,0 +1,510 @@
+"""Degrade-to-disk failover: spill instead of shed, replay to catch up.
+
+The paper's overload remedies are lossy — stride skips and offline prunes
+drop timesteps permanently (the brownout ladder reproduces that).  The
+:class:`FailoverManager` converts those losses into latency:
+
+* **Spill path** — an interceptor installed on the pipeline's
+  :class:`~repro.overload.shed.ShedLedger` diverts every would-be shed
+  decision to the :class:`~repro.adios.spill.SpillLedger`, writing the
+  timestep to a durable :class:`~repro.adios.spill.SpillStore` as a
+  sequenced, content-digested segment.  A sweeper additionally watches
+  for collapsed credit windows and flushes a collapsed link's
+  undispatched backlog through the ``spill_engage`` control protocol.
+* **Replay path** — when the consumer side is healthy again (the ladder
+  unwinds, a REPLACE recovery completes, a cold-start consumer attaches,
+  or simply the run ends), the ``replay_catchup`` protocol reads pending
+  segments back in sequence order, streams them over an SST engine with
+  reader-side flow control, and hands over to the live stream at the
+  snapshot watermark with no gap, no duplicate, and credits re-primed.
+
+The exactly-one-fate invariant generalizes: every produced timestep ends
+as delivered ∪ shed ∪ spilled, and every spilled timestep eventually
+settles as replayed (delivered) or superseded (delivered live first).
+
+All of this is strictly opt-in: without a FailoverManager the shed
+ledger's ``intercept`` stays None and legacy pipelines are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.simkernel import Environment
+from repro.controlplane.engine import ProtocolAbort, ProtocolExit
+from repro.controlplane.protocols import REPLAY_CATCHUP, SPILL_ENGAGE
+from repro.data import DataChunk
+from repro.perf.registry import REGISTRY
+from repro.adios.engine import (
+    LIVE,
+    REPLAYING,
+    SPILLING,
+    DataTapEngine,
+    EngineSwitch,
+    FileEngine,
+    SstEngine,
+    SstStream,
+)
+from repro.adios.spill import SpillLedger, SpillStore
+from repro.overload.shed import SHED_REASONS
+
+
+@dataclass
+class FailoverPolicy:
+    """Tuning for the spill/replay layer (the spec ``failover:`` block)."""
+
+    #: shed reasons the interceptor diverts to the spill path
+    spill_reasons: Tuple[str, ...] = SHED_REASONS
+    #: sweeper period: collapse detection and catch-up eligibility checks
+    sweep_interval: float = 10.0
+    #: spill store sizing (a dedicated file system, not the sink FS)
+    store_stripes: int = 4
+    store_bandwidth: float = 500 * 2**20
+    store_metadata_latency: float = 2e-3
+    #: per-subscriber in-flight window on the replay SST stream
+    subscriber_window: int = 4
+    #: consecutive collapsed sweeps before spill_engage fires on a link
+    collapse_ticks: int = 3
+    #: max segments replayed per catch-up round (None = all pending)
+    replay_batch: Optional[int] = None
+    #: the engine each link runs while healthy — ``datatap`` (the staged
+    #: transport) or ``sst`` (publish/subscribe with reader-side windows);
+    #: selected by the spec's ``transport:`` field
+    live_transport: str = "datatap"
+
+    def __post_init__(self):
+        if self.live_transport not in ("datatap", "sst"):
+            raise ValueError(
+                f"live_transport must be 'datatap' or 'sst', "
+                f"got {self.live_transport!r}"
+            )
+        for reason in self.spill_reasons:
+            if reason not in SHED_REASONS:
+                raise ValueError(
+                    f"spill reason {reason!r} is not interceptable; "
+                    f"legal: {SHED_REASONS}"
+                )
+        if self.sweep_interval <= 0:
+            raise ValueError("sweep_interval must be positive")
+        if self.subscriber_window < 1:
+            raise ValueError("subscriber_window must be >= 1")
+        if self.collapse_ticks < 1:
+            raise ValueError("collapse_ticks must be >= 1")
+
+
+class FailoverManager:
+    """Owns the spill store, the spill ledger, and the failover protocols.
+
+    Attached by the pipeline builder when the spec enables failover; wires
+    itself into the shed ledger (interceptor), the degradation trace
+    (catch-up on recovery transitions), and the recovery manager (catch-up
+    after REPLACE commits).
+    """
+
+    def __init__(self, env: Environment, pipe, policy: Optional[FailoverPolicy] = None):
+        self.env = env
+        self.pipe = pipe
+        self.policy = policy or FailoverPolicy()
+        self.store = SpillStore(
+            env,
+            stripes=self.policy.store_stripes,
+            per_stream_bandwidth=self.policy.store_bandwidth,
+            metadata_latency=self.policy.store_metadata_latency,
+        )
+        self.ledger = SpillLedger(is_delivered=pipe._exited_steps.__contains__)
+        pipe.spill_ledger = self.ledger
+        pipe.shed_ledger.intercept = self._intercept
+        #: one engine switch per DataTap link, starting on the live transport
+        self.switches: Dict[str, EngineSwitch] = {}
+        for lname, link in pipe.links.items():
+            switch = EngineSwitch(lname, current="datatap")
+            if link.writers:
+                switch.add_engine(DataTapEngine(link.writers[0]), "datatap")
+            switch.add_engine(
+                FileEngine(env, self.store, self._store_node(), stage=lname,
+                           ledger=self.ledger),
+                "file",
+            )
+            if self.policy.live_transport == "sst":
+                stream = SstStream(
+                    env, name=f"sst:{lname}", network=pipe.machine.network
+                )
+                consumer = self._consumer_of(link)
+                node = self._store_node()
+                if consumer is not None:
+                    live = [r for r in consumer.replicas if not r.crashed]
+                    if live:
+                        node = live[0].node
+                stream.subscribe(
+                    lname, node=node, window=self.policy.subscriber_window
+                )
+                src = link.writers[0].node if link.writers else None
+                switch.add_engine(SstEngine(stream, src_node=src), "sst")
+                switch.switch_to("sst")
+            self.switches[lname] = switch
+        #: completed handovers (the no-gap/no-dup oracle's raw data)
+        self.handovers: List[dict] = []
+        #: spill_engage flushes: (time, link, chunks diverted)
+        self.spill_epochs: List[tuple] = []
+        self._replaying = False
+        self._catchup_requested = False
+        self._collapse_ticks: Dict[str, int] = {}
+        self._stopped = False
+        pipe.degradation.subscribers.append(self._on_transition)
+        if pipe.recovery is not None:
+            pipe.recovery.on_replace_complete = self._on_replace_complete
+        pipe.failover = self
+        self._proc = env.process(self._sweep(), name="failover-sweep")
+
+    # -- stage/link mapping --------------------------------------------------------
+
+    def _store_node(self):
+        gm = self.pipe.global_manager
+        if gm is not None:
+            return gm.node
+        return self.pipe.machine.nodes[0]
+
+    def _link_for_stage(self, stage: str):
+        container = self.pipe.containers.get(stage)
+        if container is not None:
+            return container.input_link
+        driver = self.pipe.driver
+        if driver is not None and driver.writers:
+            return driver.writers[0].link
+        return None
+
+    def _switch_for_stage(self, stage: str) -> Optional[EngineSwitch]:
+        link = self._link_for_stage(stage)
+        if link is None:
+            return None
+        return self.switches.get(link.name)
+
+    def _consumer_of(self, link):
+        for container in self.pipe.containers.values():
+            if container.input_link is link:
+                return container
+        return None
+
+    def _sink(self):
+        """The terminal consumer's (name, node) for the replay stream."""
+        for name, container in self.pipe.containers.items():
+            if container.output_link is not None:
+                continue
+            for replica in container.replicas:
+                if not replica.crashed:
+                    return name, replica.node
+            return name, self._store_node()
+        return "sink", self._store_node()
+
+    def _nbytes_for(self, stage: str) -> float:
+        # First-order sizing: one full output step.  Stage-level spills of
+        # concrete chunks pass their true size instead (see _spill_chunk).
+        return float(self.pipe.driver.workload.bytes_per_step)
+
+    # -- the spill path -------------------------------------------------------------
+
+    def _intercept(self, timestep, stage, reason, time, chunk_id) -> bool:
+        """ShedLedger hook: divert a would-be shed to the spill path.
+
+        Returns True when the timestep's fate is (now) ``spilled``; False
+        lets the shed record proceed (reason not covered, or the timestep
+        was already shed — a second fragment of an existing decision must
+        stay a shed record, never a second fate).
+        """
+        if reason not in self.policy.spill_reasons:
+            return False
+        if timestep in self.pipe.shed_ledger.steps():
+            return False
+        record = self.ledger.record(
+            timestep, stage, reason, time,
+            nbytes=self._nbytes_for(stage), chunk_id=chunk_id,
+        )
+        if record is None:
+            # Already spilled (another fragment/decision) — fate exists.
+            return True
+        self.store.write_segment(self._store_node(), record)
+        switch = self._switch_for_stage(stage)
+        if switch is not None and switch.state == LIVE:
+            switch.set_state(SPILLING, time)
+            switch.switch_to("file")
+            self.pipe.telemetry.mark(time, f"failover: {switch.name} spilling")
+        REGISTRY.count("failover.intercepted")
+        return True
+
+    def _spill_chunk(self, chunk, stage: str, reason: str) -> bool:
+        """Spill one concrete chunk (the spill_engage flush path)."""
+        if chunk.timestep in self.pipe.shed_ledger.steps():
+            return False  # fate already shed; do not add a second fate
+        record = self.ledger.record(
+            chunk.timestep, stage, reason, self.env.now,
+            nbytes=chunk.nbytes, chunk_id=chunk.chunk_id,
+        )
+        if record is None:
+            return False
+        self.store.write_segment(self._store_node(), record)
+        return True
+
+    # -- spill_engage protocol rounds -----------------------------------------------
+
+    def engage_spill(self, link_name: str):
+        """Process: run the spill_engage protocol on one collapsed link."""
+        link = self.pipe.links[link_name]
+        return self.pipe.control_plane.execute(
+            SPILL_ENGAGE, subject=link_name,
+            data={"fo": self, "link": link, "lname": link_name, "flushed": 0},
+        )
+
+    def _se_check(self, ctx):
+        link = ctx["link"]
+        undispatched = 0
+        for writer in link.writers:
+            for chunk_id in writer.buffer._chunks:
+                if chunk_id not in writer._pulled and chunk_id not in writer._assigned:
+                    undispatched += 1
+        if undispatched == 0:
+            raise ProtocolExit(0)
+
+    def _se_flush(self, ctx):
+        link, lname = ctx["link"], ctx["lname"]
+        flushed = 0
+        for writer in list(link.writers):
+            for chunk in writer.spill_buffer():
+                self._spill_chunk(chunk, lname, "credit_collapse")
+                flushed += 1
+        ctx["flushed"] = flushed
+
+    def _se_mark(self, ctx):
+        switch = self.switches.get(ctx["lname"])
+        if switch is not None:
+            switch.set_state(SPILLING, self.env.now)
+            switch.switch_to("file")
+        self.spill_epochs.append((self.env.now, ctx["lname"], ctx["flushed"]))
+        self.pipe.telemetry.mark(
+            self.env.now, f"failover: spill engaged on {ctx['lname']}"
+        )
+        ctx.result = ctx["flushed"]
+
+    def _se_reopen(self, ctx):
+        # Compensation: the flush already moved custody to the spill store
+        # (durable), so nothing is lost — just unmark the epoch.
+        switch = self.switches.get(ctx["lname"])
+        if switch is not None and switch.state == SPILLING:
+            switch.set_state(LIVE, self.env.now)
+            switch.switch_to(self.policy.live_transport)
+
+    def _se_abort(self, ctx):
+        ctx.result = 0
+
+    # -- replay_catchup protocol rounds ----------------------------------------------
+
+    def request_catchup(self) -> None:
+        """Ask the sweeper to run a catch-up at its next opportunity (the
+        cold-start-attach and post-REPLACE triggers)."""
+        self._catchup_requested = True
+
+    def catchup(self):
+        """Process: run the replay_catchup protocol now."""
+        return self.pipe.control_plane.execute(
+            REPLAY_CATCHUP, subject="spill-store",
+            data={"fo": self, "replayed": 0, "superseded": 0},
+        )
+
+    def _rc_snapshot(self, ctx):
+        if self._replaying:
+            raise ProtocolExit("replay already in flight")
+        pending = self.ledger.pending()
+        if self.policy.replay_batch is not None:
+            pending = pending[: self.policy.replay_batch]
+        if not pending:
+            raise ProtocolExit(0)
+        self._replaying = True
+        ctx["batch"] = list(pending)
+        ctx["watermark"] = max(r.seq for r in pending)
+        for switch in self.switches.values():
+            if switch.state == SPILLING:
+                switch.set_state(REPLAYING, self.env.now)
+                switch.switch_to("sst")
+
+    def _rc_stream(self, ctx):
+        """Read pending segments in seq order and stream them to the sink
+        over an SST engine — reader-side window, strict ordering."""
+        reader_node = self._store_node()
+        sink_name, sink_node = self._sink()
+        stream = SstStream(
+            self.env, name="replay", network=self.pipe.machine.network
+        )
+        subscriber = stream.subscribe(
+            sink_name, node=sink_node, window=self.policy.subscriber_window
+        )
+        engine = SstEngine(stream, src_node=reader_node)
+        for switch in self.switches.values():
+            if "sst" not in switch.engines:
+                switch.add_engine(engine, "sst")
+        order: List[int] = []
+
+        def consume():
+            while True:
+                chunk, attrs = yield subscriber.get()
+                if attrs.get("eos"):
+                    return
+                record = attrs["record"]
+                if record.timestep in self.pipe._exited_steps:
+                    self.ledger.mark_superseded(record.seq, self.env.now)
+                    ctx["superseded"] += 1
+                else:
+                    self.pipe.record_exit(chunk, sink="replay")
+                    self.ledger.mark_replayed(record.seq, self.env.now)
+                    ctx["replayed"] += 1
+                    order.append(record.seq)
+
+        consumer = self.env.process(consume(), name="replay-consume")
+        for record in ctx["batch"]:
+            yield self.store.read_segment(reader_node, record)
+            chunk = DataChunk(
+                timestep=record.timestep,
+                nbytes=record.nbytes,
+                provenance=("replay",),
+                created_at=record.time,
+                integrity=record.digest,
+            )
+            yield engine.put(chunk, {"record": record})
+        yield engine.put(
+            DataChunk(timestep=-1, nbytes=0.0, created_at=self.env.now),
+            {"eos": True},
+        )
+        yield consumer
+        subscriber.detach()
+        ctx["order"] = order
+
+    def _rc_handover(self, ctx):
+        leftover = [
+            r for r in self.ledger.pending() if r.seq <= ctx["watermark"]
+        ]
+        if leftover:
+            raise ProtocolAbort(
+                f"{len(leftover)} segments at or below the watermark "
+                f"were not settled"
+            )
+        # Re-prime flow control: a resize-to-current re-drains any pushes
+        # deferred while the link was degraded.
+        for link in self.pipe.links.values():
+            if link.credits is not None:
+                link.credits.resize(link.credits.window)
+        for switch in self.switches.values():
+            if switch.state != LIVE:
+                switch.watermark = ctx["watermark"]
+                switch.switch_to(self.policy.live_transport)
+                switch.set_state(LIVE, self.env.now)
+        self.handovers.append({
+            "time": self.env.now,
+            "watermark": ctx["watermark"],
+            "expected": [r.seq for r in ctx["batch"]],
+            "replayed": [
+                r.seq for r in ctx["batch"] if r.status == "replayed"
+            ],
+            "superseded": [
+                r.seq for r in ctx["batch"] if r.status == "superseded"
+            ],
+            "order": list(ctx.get("order", [])),
+        })
+        self.pipe.telemetry.mark(
+            self.env.now,
+            f"failover: handover at watermark {ctx['watermark']} "
+            f"({ctx['replayed']} replayed, {ctx['superseded']} superseded)",
+        )
+        self._replaying = False
+        ctx.result = ctx["replayed"]
+
+    def _rc_abort(self, ctx):
+        self._replaying = False
+        ctx.result = ctx.get("replayed", 0)
+
+    # -- triggers -------------------------------------------------------------------
+
+    def _on_transition(self, step, trace) -> None:
+        # Recovery-direction ladder transitions (undo_*) mean the consumer
+        # side is healing: schedule a catch-up attempt.
+        if str(getattr(step, "action", "")).startswith("undo"):
+            self._catchup_requested = True
+
+    def _on_replace_complete(self, name: str) -> None:
+        self._catchup_requested = True
+
+    # -- the sweeper ----------------------------------------------------------------
+
+    def _healthy(self) -> bool:
+        """Catch-up eligibility: the pressure that caused the spills is
+        gone (ladder fully unwound, driver stride back to 1), or the run
+        is over and only the backlog remains."""
+        driver = self.pipe.driver
+        if driver is None:
+            return True
+        if driver.finished.triggered:
+            return True
+        return (
+            self.pipe.degradation.overall_level == 0
+            and driver.output_stride == 1
+        )
+
+    def _sweep(self):
+        while not self._stopped:
+            yield self.env.timeout(self.policy.sweep_interval)
+            if self._stopped:
+                return
+            yield from self._check_collapse()
+            if self._should_catchup():
+                self._catchup_requested = False
+                yield self.catchup()
+
+    def _should_catchup(self) -> bool:
+        if self._replaying or not self.ledger.pending():
+            return False
+        return self._healthy() or self._catchup_requested
+
+    def _check_collapse(self):
+        for lname, link in sorted(self.pipe.links.items()):
+            credits = link.credits
+            if credits is None:
+                continue
+            consumer = self._consumer_of(link)
+            if consumer is not None and consumer.gather_count > 1:
+                # Fragment links: spilling one writer's fragment would
+                # strand the gather of the others.  The driver-side stride
+                # interceptor covers this link's overload instead.
+                continue
+            collapsed = (
+                credits.window <= credits.min_window and credits.backlog > 0
+            )
+            if not collapsed:
+                self._collapse_ticks[lname] = 0
+                continue
+            ticks = self._collapse_ticks.get(lname, 0) + 1
+            self._collapse_ticks[lname] = ticks
+            if ticks >= self.policy.collapse_ticks:
+                self._collapse_ticks[lname] = 0
+                yield self.engage_spill(lname)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # -- reporting ------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        return {
+            "spilled": len(self.ledger),
+            "pending": len(self.ledger.pending()),
+            "by_status": self.ledger.by_status(),
+            "by_reason": self.ledger.by_reason(),
+            "handovers": len(self.handovers),
+            "spill_epochs": len(self.spill_epochs),
+            "store_bytes_written": self.store.fs.bytes_written,
+            "store_bytes_read": self.store.fs.bytes_read,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FailoverManager spilled={len(self.ledger)} "
+            f"pending={len(self.ledger.pending())} "
+            f"handovers={len(self.handovers)}>"
+        )

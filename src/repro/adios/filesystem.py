@@ -48,6 +48,7 @@ class ParallelFileSystem:
         self.files: List[FileRecord] = []
         #: monitoring
         self.bytes_written = 0.0
+        self.bytes_read = 0.0
 
     def write(self, node: Node, name: str, nbytes: float,
               attributes: Optional[Dict[str, Any]] = None):
@@ -75,6 +76,30 @@ class ParallelFileSystem:
         )
         self.files.append(record)
         self.bytes_written += nbytes
+        return record
+
+    def read(self, node: Node, name: str):
+        """Process: read the most recent file named ``name`` back to ``node``.
+
+        Reads pay the same striped-bandwidth and metadata costs as writes
+        (the replay path's catch-up latency is dominated by this).  Fires
+        with the :class:`FileRecord` read.
+        """
+        return self.env.process(self._read(node, name), name=("pfs-read:{}", name))
+
+    def _read(self, node: Node, name: str):
+        matches = self.find(name)
+        if not matches:
+            raise FileNotFoundError(f"no file named {name!r} on this file system")
+        record = matches[-1]
+        yield self.env.timeout(self.metadata_latency)
+        stream = self._streams.request()
+        yield stream
+        try:
+            yield self.env.timeout(record.nbytes / self.per_stream_bandwidth)
+        finally:
+            self._streams.release(stream)
+        self.bytes_read += record.nbytes
         return record
 
     def find(self, name: str) -> List[FileRecord]:

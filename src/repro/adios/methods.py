@@ -65,6 +65,28 @@ class PosixMethod(TransportMethod):
         return self.fs.write(self.node, name, chunk.nbytes, attrs)
 
 
+class SstMethod(TransportMethod):
+    """Streaming path: SST-style publish/subscribe with reader-side flow
+    control (see :class:`repro.adios.engine.SstStream`).
+
+    Unlike :class:`DataTapMethod` (metadata push, reader RDMA-pull), the
+    publisher pushes whole chunks and blocks on each subscriber's window —
+    the write completes once every subscriber has the chunk buffered.
+    """
+
+    name = "SST"
+
+    def __init__(self, stream, src_node: Optional[Node] = None):
+        self.stream = stream
+        self.src_node = src_node
+
+    def write_chunk(self, chunk: DataChunk, attributes=None):
+        attrs = dict(attributes or {})
+        attrs.setdefault("provenance", list(chunk.provenance))
+        attrs.setdefault("timestep", chunk.timestep)
+        return self.stream.publish(chunk, attrs, src_node=self.src_node)
+
+
 class NullMethod(TransportMethod):
     """Discard output (for components whose sink is out of scope)."""
 

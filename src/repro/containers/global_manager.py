@@ -423,12 +423,22 @@ class GlobalManager:
                 for chunk in writer.drain_buffer():
                     # An accounted drop: the prune, not silence, owns this
                     # timestep (suppressed if it already exited downstream).
+                    recorded = True
                     if self.shed_ledger is not None:
-                        self.shed_ledger.record(
+                        recorded = self.shed_ledger.record(
                             chunk.timestep, cname, "offline_prune",
                             self.env.now, chunk_id=chunk.chunk_id,
                         )
-                    if pruned.sink_fs is not None:
+                    # With a failover interceptor installed, a diverted
+                    # (spilled) chunk is already durable in the spill store;
+                    # flushing it here too would double-write.  Without one,
+                    # flush unconditionally — the legacy strand path.
+                    diverted = (
+                        not recorded
+                        and self.shed_ledger is not None
+                        and self.shed_ledger.intercept is not None
+                    )
+                    if pruned.sink_fs is not None and not diverted:
                         yield pruned.sink_fs.write(
                             writer.node,
                             f"{writer.name}.flush.ts{chunk.timestep:06d}.bp",
@@ -515,9 +525,10 @@ class GlobalManager:
 
         The reverse of the offline cascade: flush (as accounted sheds)
         whatever piled up in the still-paused upstream writers while the
-        stage was down, reset the link's flow-control state, respawn
-        replicas through the regular INCREASE protocol, and resume the
-        writers so new timesteps flow again.
+        stage was down, respawn replicas through the regular INCREASE
+        protocol, reinstall the link's credit window, and only then resume
+        the writers — so the first post-recovery dispatch is always
+        credit-gated against the fresh window, never the stale one.
         """
         container = manager.container
         name = container.name
@@ -544,9 +555,6 @@ class GlobalManager:
                                 "incomplete_pipeline": True,
                             },
                         )
-            if container.input_link.credits is not None:
-                # The credits described a downstream that no longer exists.
-                container.input_link.credits.reset()
         wanted = units if units else 1
         if wanted > self.scheduler.free_nodes:
             self._borrow(wanted)
@@ -563,6 +571,13 @@ class GlobalManager:
             self.node, self.endpoint, manager.endpoint.name, request
         )
         if container.input_link is not None:
+            if container.input_link.credits is not None:
+                # Reinstall the credit window *before* the writers resume:
+                # the stale window described a downstream that no longer
+                # exists, and resuming first would let the first
+                # post-recovery dispatch go out creditless (or be deferred
+                # against credits still held by pruned chunks).
+                container.input_link.credits.reset()
             yield container.input_link.resume_writers()
         # Fresh latency state: the stale pre-offline window must not trip
         # an immediate re-escalation.

@@ -133,6 +133,11 @@ class Pipeline:
         #: predictive manager (repro.analytics), attached by the builder
         #: when the spec's overload block says ``mode: predictive``
         self.analytics = None
+        #: degrade-to-disk failover (repro.adios.failover) and its ledger,
+        #: attached by the builder when the spec's failover block is set;
+        #: None keeps every legacy path byte-identical
+        self.failover = None
+        self.spill_ledger = None
 
     def run(self, settle: float = 60.0, deadline: Optional[float] = None) -> bool:
         """Run until the driver finishes (plus ``settle`` seconds of drain).
@@ -322,6 +327,10 @@ class Pipeline:
         self.global_manager.register(manager, depends_on=upstream)
         self.telemetry.mark(self.env.now, f"interactive launch {name}")
         result = yield self.global_manager.increase(name, units)
+        if self.failover is not None:
+            # A cold-start consumer catches up on the spilled history
+            # before it sees live data (full-history replay).
+            self.failover.request_catchup()
         return container
 
     # -- completion hooks -------------------------------------------------------------------
@@ -399,6 +408,8 @@ class PipelineBuilder:
         backpressure=False,
         brownout=False,
         predictive=False,
+        failover=False,
+        retry_jitter: float = 0.0,
         tenant: Optional[str] = None,
     ):
         self.env = env
@@ -450,6 +461,12 @@ class PipelineBuilder:
         #: (byte-identical schedules), True = PredictiveConfig defaults,
         #: or a dict of PredictiveConfig overrides
         self.predictive = predictive
+        #: degrade-to-disk failover: False = lossy sheds (legacy), True =
+        #: FailoverPolicy defaults, or a dict of FailoverPolicy overrides
+        self.failover = failover
+        #: seeded scatter on the messenger's retry backoff; 0 keeps the
+        #: historical fixed ladder byte-identically
+        self.retry_jitter = retry_jitter
 
     def build(self) -> Pipeline:
         env = self.env
@@ -469,7 +486,13 @@ class PipelineBuilder:
         sim_part = machine.partition(f"{prefix}sim", self.num_sim_writers)
         staging = machine.partition(f"{prefix}staging", wl.staging_nodes)
 
-        messenger = Messenger(env, machine.network)
+        if self.retry_jitter:
+            from repro.evpath.channel import RetryPolicy
+
+            retry = RetryPolicy(jitter=self.retry_jitter, seed=self.seed)
+            messenger = Messenger(env, machine.network, retry=retry)
+        else:
+            messenger = Messenger(env, machine.network)
         pipe.messenger = messenger
         fs = ParallelFileSystem(env)
         pipe.fs = fs
@@ -756,6 +779,18 @@ class PipelineBuilder:
                 env, messenger, gm,
                 manager_lease_timeout=self.manager_lease_timeout,
             )
+
+        # Degrade-to-disk failover: intercept sheds into the spill store,
+        # replay them once the consumer side is healthy again.  Attached
+        # last so it sees the recovery manager and the credit-equipped
+        # links; the fault plan arms after it so injected crashes hit a
+        # fully wired failover path.
+        if self.failover:
+            from repro.adios.failover import FailoverManager, FailoverPolicy
+
+            fo_kwargs = self.failover if isinstance(self.failover, dict) else {}
+            FailoverManager(env, pipe, policy=FailoverPolicy(**fo_kwargs))
+
         if self.fault_plan is not None:
             pipe.arm_faults(self.fault_plan)
 

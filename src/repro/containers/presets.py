@@ -130,6 +130,28 @@ def build_predictive_pipeline(
     return build_spec(env, spec, **overrides)
 
 
+def build_failover_pipeline(
+    env: Environment,
+    steps: int = 16,
+    seed: int = 1,
+    **overrides,
+) -> Pipeline:
+    """The overload preset with degrade-to-disk failover attached.
+
+    Identical workload, buffers and burst exposure to
+    :func:`build_overload_pipeline` — the only delta is the spec's
+    failover block, which diverts every would-be shed to the spill store
+    and replays it once the consumer side is healthy.  This is the
+    failover half of the head-to-head experiment: same pressure, zero
+    loss, bounded catch-up.
+    """
+    spec = load_preset("failover").override(
+        workload=dict(steps=steps),
+        builder=dict(seed=seed),
+    )
+    return build_spec(env, spec, **overrides)
+
+
 def build_s3d_pipeline(
     env: Environment,
     steps: int = 8,
@@ -153,5 +175,6 @@ PIPELINE_PRESETS: Dict[str, Callable[..., Pipeline]] = {
     "fig7": build_fig7_pipeline,
     "overload": build_overload_pipeline,
     "predictive": build_predictive_pipeline,
+    "failover": build_failover_pipeline,
     "s3d": build_s3d_pipeline,
 }

@@ -62,6 +62,9 @@ class RecoveryManager:
         self.request_timeout = request_timeout
         #: completed recovery actions, in order
         self.replacements: List[dict] = []
+        #: failover hook: called with the container name after a REPLACE
+        #: commits (the replay-after-recovery trigger); None = no-op
+        self.on_replace_complete = None
         #: containers degraded to offline because recovery was impossible
         self.degraded: List[str] = []
         #: protocol rounds spent on recovery (replace, steal, degrade)
@@ -231,6 +234,10 @@ class RecoveryManager:
         )
         gm.actions_taken.append(f"replace {name}/{replica} via {method}")
         gm.telemetry.mark(self.env.now, f"replace {name} via {method}")
+        # Failover hook: a completed replacement means the consumer is back,
+        # so spilled history (if any) can be replayed to it.
+        if self.on_replace_complete is not None:
+            self.on_replace_complete(name)
 
     def _rr_degrade(self, ctx):
         """Abort hook: no repair possible — Figure 9 disk fallback."""

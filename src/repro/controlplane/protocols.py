@@ -260,6 +260,52 @@ BROWNOUT_RECOVER = ProtocolSpec(
 
 
 # ---------------------------------------------------------------------------
+# Failover: degrade-to-disk spill and replay catch-up (repro.adios.failover)
+# ---------------------------------------------------------------------------
+
+#: SPILL_ENGAGE: divert a collapsed link's undispatched backlog to the
+#: durable spill store instead of letting it wait out the collapse.  The
+#: check round exits early when there is nothing to divert (or a spill is
+#: already engaged); the flush round's compensation re-opens the epoch if
+#: a later round dies, so an aborted engage never leaves the switch stuck
+#: in ``spilling``.
+SPILL_ENGAGE = ProtocolSpec(
+    "spill_engage",
+    rounds=(
+        Round("check", handler=lambda ctx: ctx["fo"]._se_check(ctx)),
+        Round("flush",
+              exit_label=lambda ctx: f"spilled {ctx['flushed']} chunks",
+              handler=lambda ctx: ctx["fo"]._se_flush(ctx),
+              compensate=lambda ctx: ctx["fo"]._se_reopen(ctx)),
+        Round("mark", enter_label="failover: spill engaged",
+              handler=lambda ctx: ctx["fo"]._se_mark(ctx)),
+    ),
+    on_abort=lambda ctx: ctx["fo"]._se_abort(ctx),
+)
+
+
+#: REPLAY_CATCHUP: when the consumer side is healthy again, read the
+#: pending spill segments back from the store in sequence order, stream
+#: them to the consumer over the SST engine (reader-side flow control),
+#: and hand over to the live stream at the snapshot watermark — no gap,
+#: no duplicate, credits re-primed.  The snapshot round's compensation
+#: re-opens the replay epoch so an aborted catch-up can be retried.
+REPLAY_CATCHUP = ProtocolSpec(
+    "replay_catchup",
+    rounds=(
+        Round("snapshot", handler=lambda ctx: ctx["fo"]._rc_snapshot(ctx)),
+        Round("stream",
+              exit_label=lambda ctx:
+                  f"replayed {ctx['replayed']} (+{ctx['superseded']} superseded)",
+              handler=lambda ctx: ctx["fo"]._rc_stream(ctx)),
+        Round("handover", enter_label="failover: handover to live stream",
+              handler=lambda ctx: ctx["fo"]._rc_handover(ctx)),
+    ),
+    on_abort=lambda ctx: ctx["fo"]._rc_abort(ctx),
+)
+
+
+# ---------------------------------------------------------------------------
 # Transactions (D2T, Figure 6)
 # ---------------------------------------------------------------------------
 

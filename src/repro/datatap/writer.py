@@ -281,6 +281,30 @@ class DataTapWriter:
         self._pending_meta.clear()
         return chunks
 
+    def spill_buffer(self) -> List[DataChunk]:
+        """Remove and return buffered chunks with no delivery in flight.
+
+        The failover spill path: when a link's credits collapse, chunks
+        whose metadata was never dispatched (deferred against the window,
+        or parked by a pause) are diverted to the durable spill store
+        instead of waiting out the collapse.  Chunks already pulled (a live
+        copy exists downstream) or with metadata in flight (``_assigned``)
+        are left alone — the live path still owns them.  Custody transfers
+        to the spill store: releasing each chunk fires its parent ack, the
+        same handover :meth:`drain_buffer` performs.
+        """
+        chunks = []
+        for chunk_id in list(self.buffer._chunks):
+            if chunk_id in self._pulled or chunk_id in self._assigned:
+                continue
+            chunk = self.buffer.get(chunk_id)
+            chunks.append(chunk)
+            self.buffer.release(chunk_id)
+            self._forget(chunk_id)
+            if chunk in self._pending_meta:
+                self._pending_meta.remove(chunk)
+        return chunks
+
     # -- control plane ---------------------------------------------------------------
 
     def pause(self):

@@ -136,10 +136,13 @@ class ExactlyOnceDelivery(Invariant):
             expected = pipe.driver.workload.total_steps
             ledger = getattr(pipe, "shed_ledger", None)
             shed = ledger.steps() if ledger is not None else set()
-            missing = set(range(expected)) - set(exits) - shed
+            spill = getattr(pipe, "spill_ledger", None)
+            spilled = spill.steps() if spill is not None else set()
+            missing = set(range(expected)) - set(exits) - shed - spilled
             if missing:
                 problems.append(
-                    f"timesteps neither delivered nor shed: {sorted(missing)[:10]}"
+                    f"timesteps neither delivered, shed, nor spilled: "
+                    f"{sorted(missing)[:10]}"
                     f"{'...' if len(missing) > 10 else ''}"
                 )
         return problems
@@ -183,14 +186,150 @@ class ShedAccounting(Invariant):
                     f"timestep {step} attributed to multiple shed decisions: "
                     f"{sorted(decisions)}"
                 )
+        spill = getattr(pipe, "spill_ledger", None)
+        spilled = spill.steps() if spill is not None else set()
+        two_fates = spilled & ledger.steps()
+        if two_fates:
+            problems.append(
+                f"timesteps both shed and spilled: {sorted(two_fates)[:10]}"
+            )
         if final and self._finished and pipe.driver is not None:
             expected = pipe.driver.workload.total_steps
-            missing = set(range(expected)) - delivered - ledger.steps()
+            missing = set(range(expected)) - delivered - ledger.steps() - spilled
             if missing:
                 problems.append(
-                    f"timesteps with no fate (neither delivered nor shed): "
+                    f"timesteps with no fate (neither delivered, shed, nor "
+                    f"spilled): "
                     f"{sorted(missing)[:10]}{'...' if len(missing) > 10 else ''}"
                 )
+        return problems
+
+
+@register
+class SpillReplayConservation(Invariant):
+    """The spill path loses nothing and invents nothing.
+
+    On failover pipelines (``pipe.spill_ledger`` attached):
+
+    * a spilled timestep is never also shed (one fate per step);
+    * every record's content digest matches a recomputation from its
+      identity fields (the segment the store wrote is the segment the
+      ledger owes);
+    * a ``replayed`` or ``superseded`` record's timestep was actually
+      delivered end-to-end, and a replayed one was delivered by the
+      replay sink exactly once;
+    * settled records carry a settle time at or after the spill time.
+
+    No-op without a spill ledger (legacy pipelines have nothing to audit).
+    """
+
+    name = "spill_replay_conservation"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        spill = getattr(pipe, "spill_ledger", None)
+        if spill is None:
+            return []
+        from repro.adios.spill import segment_digest
+
+        problems: List[str] = []
+        shed = getattr(pipe, "shed_ledger", None)
+        if shed is not None:
+            overlap = spill.steps() & shed.steps()
+            if overlap:
+                problems.append(
+                    f"timesteps both spilled and shed: {sorted(overlap)[:10]}"
+                )
+        delivered = {step for _, step, _ in pipe.end_to_end}
+        replay_exits = [
+            step for _, sink, step in getattr(pipe, "exit_log", [])
+            if sink == "replay"
+        ]
+        dupes = sorted({s for s in replay_exits if replay_exits.count(s) > 1})
+        if dupes:
+            problems.append(f"timesteps replayed more than once: {dupes}")
+        for record in spill.records:
+            expect = segment_digest(
+                record.stage, record.timestep, record.reason, record.nbytes
+            )
+            if record.digest != expect:
+                problems.append(
+                    f"seq {record.seq} digest mismatch: ledger {record.digest} "
+                    f"!= identity {expect}"
+                )
+            if record.status in ("replayed", "superseded"):
+                if record.timestep not in delivered:
+                    problems.append(
+                        f"seq {record.seq} marked {record.status} but "
+                        f"timestep {record.timestep} never exited"
+                    )
+                if record.settled_at is None or record.settled_at < record.time:
+                    problems.append(
+                        f"seq {record.seq} settled at {record.settled_at}, "
+                        f"before its spill at {record.time}"
+                    )
+            if record.status == "replayed" and record.timestep not in replay_exits:
+                problems.append(
+                    f"seq {record.seq} marked replayed but timestep "
+                    f"{record.timestep} has no replay-sink exit"
+                )
+        return problems
+
+
+@register
+class NoGapNoDupAfterHandover(Invariant):
+    """Every replay→live handover is gapless and duplicate-free.
+
+    For each completed ``replay_catchup`` handover: the snapshot batch is
+    fully settled (replayed ∪ superseded == expected, disjoint), segments
+    were delivered in strictly increasing sequence order, the watermark is
+    the batch maximum, and no sequence number is claimed by two handovers.
+
+    No-op without a failover manager.
+    """
+
+    name = "no_gap_no_dup_after_handover"
+
+    def check(self, pipe, final: bool) -> List[str]:
+        failover = getattr(pipe, "failover", None)
+        if failover is None:
+            return []
+        problems: List[str] = []
+        claimed: Dict[int, float] = {}
+        for hand in failover.handovers:
+            head = f"handover@{hand['time']}"
+            expected = set(hand["expected"])
+            replayed = set(hand["replayed"])
+            superseded = set(hand["superseded"])
+            if replayed & superseded:
+                problems.append(
+                    f"{head}: seqs both replayed and superseded: "
+                    f"{sorted(replayed & superseded)}"
+                )
+            gaps = expected - replayed - superseded
+            if gaps:
+                problems.append(
+                    f"{head}: unsettled seqs at handover (gap): {sorted(gaps)}"
+                )
+            extra = (replayed | superseded) - expected
+            if extra:
+                problems.append(
+                    f"{head}: settled seqs outside the snapshot: {sorted(extra)}"
+                )
+            if expected and hand["watermark"] != max(expected):
+                problems.append(
+                    f"{head}: watermark {hand['watermark']} != batch max "
+                    f"{max(expected)}"
+                )
+            order = hand["order"]
+            if any(b <= a for a, b in zip(order, order[1:])):
+                problems.append(f"{head}: replay out of sequence order: {order}")
+            for seq in expected:
+                if seq in claimed:
+                    problems.append(
+                        f"{head}: seq {seq} already claimed by "
+                        f"handover@{claimed[seq]} (duplicate)"
+                    )
+                claimed[seq] = hand["time"]
         return problems
 
 

@@ -56,6 +56,15 @@ def predictive(env: Environment) -> Pipeline:
     return build(env, load_preset("predictive").override(workload=dict(steps=12)))
 
 
+@preset("failover")
+def failover(env: Environment) -> Pipeline:
+    """The overload scenario with degrade-to-disk failover attached: the
+    same burst exposure, but every would-be shed spills to the store and
+    is owed an eventual replay — the ``spill_replay_conservation`` and
+    ``no_gap_no_dup_after_handover`` oracles audit the catch-up."""
+    return build(env, load_preset("failover").override(workload=dict(steps=12)))
+
+
 @preset("smoke_no_spares")
 def smoke_no_spares(env: Environment) -> Pipeline:
     """Same mix with an empty spare pool: replacement must steal capacity,

@@ -71,7 +71,7 @@ def overload_plan(seed: int, pipe: Pipeline) -> FaultPlan:
 
 def plan_for(preset: str) -> PlanFactory:
     """The default plan factory for a preset name."""
-    if preset in ("overload", "predictive"):
+    if preset in ("overload", "predictive", "failover"):
         return overload_plan
     return default_smoke_plan
 
@@ -188,13 +188,18 @@ class DSTScenario:
         expected = pipe.driver.workload.total_steps
         deadline = env.now + self.drain
         ledger = getattr(pipe, "shed_ledger", None)
+        spill = getattr(pipe, "spill_ledger", None)
         while env.now < deadline:
             # a shed timestep has its fate already — only undecided
-            # timesteps hold the drain open
+            # timesteps hold the drain open.  A *spilled* timestep has a
+            # fate too, but is owed an eventual replay: keep draining
+            # until the spill backlog settles (bounded by the deadline).
             fated = {step for _, step, _ in pipe.end_to_end}
             if ledger is not None:
                 fated |= ledger.steps()
-            if len(fated) >= expected:
+            if spill is not None:
+                fated |= spill.steps()
+            if len(fated) >= expected and (spill is None or not spill.pending()):
                 return
             env.run(until=min(env.now + 30.0, deadline))
 

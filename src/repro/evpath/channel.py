@@ -27,16 +27,46 @@ class RetryPolicy:
     or partition window) is retried up to ``attempts`` total tries, sleeping
     ``base_delay * backoff**i`` between them.  Anything that still fails
     propagates the last error to the sender.
+
+    With ``jitter`` > 0 each sleep is scattered by a *deterministic*
+    per-(seed, sender, attempt) factor in ``[1 - jitter, 1 + jitter)``:
+    retry schedules stay exactly reproducible per DST seed, but two nodes
+    retrying into the same healed partition no longer wake in lockstep
+    (the thundering-herd the fixed ladder produced).  ``jitter=0`` (the
+    default) yields the historical fixed ladder, byte-identical — no
+    randomness is consumed, no key is hashed.
     """
 
     attempts: int = 4
     base_delay: float = 0.05
     backoff: float = 2.0
+    #: relative scatter applied to each delay; 0 = legacy fixed ladder
+    jitter: float = 0.0
+    #: DST seed the scatter derives from (threaded by the builder)
+    seed: int = 0
 
-    def delays(self):
+    def _scatter(self, key, attempt: int) -> float:
+        """Deterministic factor in [1 - jitter, 1 + jitter) for one sleep.
+
+        SHA-256 of (seed, key, attempt), independent of PYTHONHASHSEED —
+        the same seed and sender always produce the same schedule, and
+        different senders (or seeds) decorrelate.
+        """
+        import hashlib
+
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        return 1.0 + self.jitter * (2.0 * frac - 1.0)
+
+    def delays(self, key=None):
         delay = self.base_delay
-        for _ in range(max(0, self.attempts - 1)):
-            yield delay
+        for attempt in range(max(0, self.attempts - 1)):
+            if self.jitter > 0.0 and key is not None:
+                yield delay * self._scatter(key, attempt)
+            else:
+                yield delay
             delay *= self.backoff
 
 
@@ -247,7 +277,10 @@ class Messenger:
     def _send(self, src_node: Node, dest: Endpoint, message: Message):
         self.messages_sent += 1
         self.bytes_sent += message.size_bytes
-        delays = iter(self.retry.delays())
+        # The jitter key names this send uniquely and deterministically:
+        # sender node, destination endpoint, and the send's sequence number.
+        key = f"{src_node.node_id}:{dest.name}:{self.messages_sent}"
+        delays = iter(self.retry.delays(key))
         while True:
             try:
                 # dest.node is read per attempt: a rehosted endpoint's new

@@ -57,6 +57,36 @@ def render(result: Dict[str, Any]) -> str:
         headers = list(series[0].keys())
         out.append(format_table(headers, [[r[h] for h in headers] for r in series]))
         return "\n".join(out)
+    # head-to-head arm summaries without event traces (e.g. failover):
+    # one row per arm, then the run-level verdict fields
+    arms = {
+        key: value for key, value in result.items()
+        if isinstance(value, dict) and "shed_fraction" in value
+        and "events" not in value
+    }
+    if arms:
+        metrics = ("finished", "delivered", "shed_fraction",
+                   "eventual_delivery_pct", "spilled_steps", "spill_pending",
+                   "handovers", "catchup_s")
+        headers = ["arm"] + [
+            m for m in metrics if any(m in v for v in arms.values())
+        ]
+        rows = []
+        for key, value in arms.items():
+            row: List[Any] = [key]
+            for metric in headers[1:]:
+                cell = value.get(metric, "-")
+                if isinstance(cell, list):
+                    cell = len(cell)
+                elif isinstance(cell, float):
+                    cell = f"{cell:.3f}"
+                row.append(cell)
+            rows.append(row)
+        out.append(format_table(headers, rows))
+        for key in ("ok", "replay_identical", "shed_elimination_steps"):
+            if key in result:
+                out.append(f"{key}: {result[key]}")
+        return "\n".join(out)
     for key, value in result.items():
         if key == "experiment":
             continue

@@ -65,6 +65,12 @@ class ShedLedger:
         self.records: List[ShedRecord] = []
         self.is_delivered = is_delivered
         self.suppressed = 0
+        #: optional spill hook, installed by the failover layer: called as
+        #: ``intercept(timestep, stage, reason, time, chunk_id)`` before a
+        #: decision is recorded; returning True means the timestep was
+        #: diverted to the spill path instead of shed (no record is made).
+        #: None (the default) is the legacy shed-only behavior.
+        self.intercept: Optional[Callable] = None
         self._steps: Set[int] = set()
         #: callables invoked as ``fn(record, ledger)`` after every
         #: accounted shed, so live consumers (the analytics series store)
@@ -85,6 +91,12 @@ class ShedLedger:
         if self.is_delivered is not None and self.is_delivered(timestep):
             self.suppressed += 1
             REGISTRY.count("overload.shed_suppressed")
+            return False
+        if self.intercept is not None and self.intercept(
+            timestep, stage, reason, time, chunk_id
+        ):
+            # Diverted to the spill path: the timestep's fate is "spilled",
+            # owed eventual delivery via replay — not a shed record.
             return False
         record = ShedRecord(int(timestep), stage, reason, float(time), chunk_id)
         self.records.append(record)

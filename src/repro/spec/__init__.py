@@ -21,6 +21,7 @@ from repro.spec.model import (
     BUILDER_KEYS,
     OVERLOAD_MODES,
     TRANSPORTS,
+    FailoverPolicyBlock,
     FaultEventSpec,
     FaultSpec,
     OverloadPolicyBlock,
@@ -47,6 +48,7 @@ __all__ = [
     "BUILDER_KEYS",
     "OVERLOAD_MODES",
     "TRANSPORTS",
+    "FailoverPolicyBlock",
     "FaultEventSpec",
     "FaultSpec",
     "OverloadPolicyBlock",

@@ -66,12 +66,12 @@ def build(
     """
     if validate:
         spec.validate()
-    if spec.transport != "datatap":
+    if spec.transport not in ("datatap", "sst"):
         raise SpecError(
             f"spec {spec.name!r} selects transport {spec.transport!r}, but "
             f"the pipeline builder currently wires the online 'datatap' "
-            f"path only (the field is the engine-selection hook for "
-            f"swappable backends)"
+            f"and 'sst' paths only (the field is the engine-selection hook "
+            f"for swappable backends)"
         )
     kwargs = dict(spec.builder)
     stages = spec.stage_configs()
@@ -79,6 +79,13 @@ def build(
         kwargs["stages"] = stages
     if spec.overload is not None and spec.overload.mode == "predictive":
         kwargs["predictive"] = spec.overload.predictive_kwargs() or True
+    if spec.failover is not None:
+        fo_kwargs = spec.failover.failover_kwargs()
+        if spec.transport == "sst":
+            fo_kwargs["live_transport"] = "sst"
+        kwargs["failover"] = fo_kwargs or True
+        if spec.failover.retry_jitter:
+            kwargs["retry_jitter"] = spec.failover.retry_jitter
     kwargs.update(overrides)
     pipe = PipelineBuilder(env, spec.workload.to_workload(), **kwargs).build()
     pipe.spec = spec

@@ -70,11 +70,11 @@ BUILDER_KEYS: Tuple[str, ...] = (
     "brownout",
 )
 
-#: transport methods a spec may name (see :mod:`repro.adios.methods`);
-#: the pipeline builder currently wires the online DataTap path only —
-#: the field is the engine-selection hook the openPMD/ADIOS2 line of work
-#: swaps backends through.
-TRANSPORTS: Tuple[str, ...] = ("datatap", "posix", "null")
+#: transport methods a spec may name (see :mod:`repro.adios.methods`).
+#: ``datatap`` is the staged online path; ``sst`` selects the streaming
+#: publish/subscribe engine (requires a ``failover:`` block, which owns
+#: the engine switches); ``posix``/``null`` remain declarative-only hooks.
+TRANSPORTS: Tuple[str, ...] = ("datatap", "sst", "posix", "null")
 
 
 @dataclass(frozen=True)
@@ -339,6 +339,69 @@ class OverloadPolicyBlock:
 
 
 @dataclass(frozen=True)
+class FailoverPolicyBlock:
+    """Degrade-to-disk failover: spill instead of shed, replay to catch up.
+
+    Attaches a :class:`~repro.adios.failover.FailoverManager` to the
+    built pipeline.  Every field except ``retry_jitter`` is an optional
+    override of a :class:`~repro.adios.failover.FailoverPolicy` default
+    (``None`` = use the default).  ``spill_reasons`` restricts which shed
+    reasons divert to the spill store; ``retry_jitter`` additionally
+    enables seeded scatter on the messenger's retry backoff (see
+    :class:`~repro.evpath.channel.RetryPolicy`), keyed on the pipeline
+    seed so retry schedules decorrelate across nodes but stay
+    deterministic per seed.
+    """
+
+    spill_reasons: Optional[Tuple[str, ...]] = None
+    sweep_interval: Optional[float] = None
+    subscriber_window: Optional[int] = None
+    collapse_ticks: Optional[int] = None
+    replay_batch: Optional[int] = None
+    store_stripes: Optional[int] = None
+    store_bandwidth: Optional[float] = None
+    store_metadata_latency: Optional[float] = None
+    retry_jitter: float = 0.0
+
+    def __post_init__(self):
+        if self.spill_reasons is not None:
+            object.__setattr__(
+                self, "spill_reasons", tuple(self.spill_reasons)
+            )
+
+    def failover_kwargs(self) -> dict:
+        """The set tuning fields, as FailoverPolicy keyword overrides."""
+        out = {}
+        for key in ("spill_reasons", "sweep_interval", "subscriber_window",
+                    "collapse_ticks", "replay_batch", "store_stripes",
+                    "store_bandwidth", "store_metadata_latency"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def as_dict(self) -> dict:
+        return {
+            "spill_reasons": (
+                None if self.spill_reasons is None
+                else list(self.spill_reasons)
+            ),
+            "sweep_interval": self.sweep_interval,
+            "subscriber_window": self.subscriber_window,
+            "collapse_ticks": self.collapse_ticks,
+            "replay_batch": self.replay_batch,
+            "store_stripes": self.store_stripes,
+            "store_bandwidth": self.store_bandwidth,
+            "store_metadata_latency": self.store_metadata_latency,
+            "retry_jitter": self.retry_jitter,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FailoverPolicyBlock":
+        return cls(**_checked_kwargs(cls, data, "failover"))
+
+
+@dataclass(frozen=True)
 class PipelineSpec:
     """One pipeline, declaratively.  See the module docstring.
 
@@ -362,6 +425,8 @@ class PipelineSpec:
     tenant: Optional[TenantSpecBlock] = None
     #: overload-policy selection (None = reactive, the historical default)
     overload: Optional[OverloadPolicyBlock] = None
+    #: degrade-to-disk failover (None = lossy sheds, the paper's behavior)
+    failover: Optional[FailoverPolicyBlock] = None
 
     def __post_init__(self):
         # freeze the builder mapping so the spec hashes/compares by value
@@ -437,6 +502,7 @@ class PipelineSpec:
             "faults": None if self.faults is None else self.faults.as_dict(),
             "tenant": None if self.tenant is None else self.tenant.as_dict(),
             "overload": None if self.overload is None else self.overload.as_dict(),
+            "failover": None if self.failover is None else self.failover.as_dict(),
         }
 
     @classmethod
@@ -460,6 +526,8 @@ class PipelineSpec:
             kwargs["tenant"] = TenantSpecBlock.from_dict(kwargs["tenant"])
         if kwargs.get("overload") is not None:
             kwargs["overload"] = OverloadPolicyBlock.from_dict(kwargs["overload"])
+        if kwargs.get("failover") is not None:
+            kwargs["failover"] = FailoverPolicyBlock.from_dict(kwargs["failover"])
         return cls(**kwargs)
 
     def to_yaml(self) -> str:

@@ -60,6 +60,11 @@ def validate(spec: PipelineSpec) -> PipelineSpec:
         raise SpecError(
             f"unknown transport {spec.transport!r}; known: {list(TRANSPORTS)}"
         )
+    if spec.transport == "sst" and spec.failover is None:
+        raise SpecError(
+            "transport: sst is provided by the failover engine layer; "
+            "add a failover block (failover: {}) to enable it"
+        )
     if spec.sla is not None and spec.sla <= 0:
         raise SpecError(f"sla must be a positive multiple of the output interval, got {spec.sla}")
     if spec.faults is not None:
@@ -68,6 +73,8 @@ def validate(spec: PipelineSpec) -> PipelineSpec:
         _validate_tenant(spec)
     if spec.overload is not None:
         _validate_overload(spec)
+    if spec.failover is not None:
+        _validate_failover(spec)
     return spec
 
 
@@ -293,6 +300,38 @@ def _validate_overload(spec: PipelineSpec) -> None:
                 "overload.mode: predictive needs a controller to feed — "
                 "enable builder.backpressure and/or builder.brownout"
             )
+
+
+def _validate_failover(spec: PipelineSpec) -> None:
+    from repro.adios.spill import SPILL_REASONS
+
+    fo = spec.failover
+    if fo.spill_reasons is not None:
+        bad = sorted(set(fo.spill_reasons) - set(SPILL_REASONS))
+        if bad:
+            raise SpecError(
+                f"failover.spill_reasons {bad} are not interceptable shed "
+                f"reasons; legal: {sorted(SPILL_REASONS)}"
+            )
+    for key in ("sweep_interval", "store_bandwidth", "store_metadata_latency"):
+        value = getattr(fo, key)
+        if value is not None and value <= 0:
+            raise SpecError(f"failover.{key} must be positive, got {value}")
+    for key in ("subscriber_window", "collapse_ticks", "replay_batch",
+                "store_stripes"):
+        value = getattr(fo, key)
+        if value is not None and value < 1:
+            raise SpecError(f"failover.{key} must be >= 1, got {value}")
+    if not 0.0 <= fo.retry_jitter <= 1.0:
+        raise SpecError(
+            f"failover.retry_jitter is a relative scatter and must be in "
+            f"[0, 1], got {fo.retry_jitter}"
+        )
+    if not spec.builder.get("backpressure"):
+        raise SpecError(
+            "failover needs link credits to detect collapse — enable "
+            "builder.backpressure"
+        )
 
 
 def _validate_tenant(spec: PipelineSpec) -> None:

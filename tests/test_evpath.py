@@ -328,3 +328,54 @@ class TestFastSendIdentity:
         assert isinstance(ev, Process)  # generic path
         env.run()
         assert ev.value.mtype is MessageType.ACK
+
+
+class TestRetryJitter:
+    """The seeded backoff scatter (the thundering-herd fix): ``jitter=0``
+    must reproduce the historical fixed ladder byte-for-byte, and a
+    nonzero jitter must be deterministic per (seed, key) yet decorrelated
+    across seeds and senders."""
+
+    def test_default_is_legacy_ladder(self):
+        from repro.evpath.channel import RetryPolicy
+
+        policy = RetryPolicy()
+        assert list(policy.delays()) == [0.05, 0.1, 0.2]
+        # a key without jitter changes nothing (no hashing on this path)
+        assert list(policy.delays(key="n1:ep:1")) == [0.05, 0.1, 0.2]
+
+    def test_jitter_without_key_is_legacy_ladder(self):
+        from repro.evpath.channel import RetryPolicy
+
+        policy = RetryPolicy(jitter=0.5, seed=3)
+        assert list(policy.delays()) == [0.05, 0.1, 0.2]
+
+    def test_jitter_deterministic_per_seed_and_key(self):
+        from repro.evpath.channel import RetryPolicy
+
+        schedule = list(RetryPolicy(jitter=0.5, seed=3).delays(key="n1:ep:7"))
+        again = list(RetryPolicy(jitter=0.5, seed=3).delays(key="n1:ep:7"))
+        assert schedule == again  # same seed, same sender: same schedule
+
+    def test_jitter_bounded_and_decorrelated(self):
+        from repro.evpath.channel import RetryPolicy
+
+        policy = RetryPolicy(jitter=0.5, seed=3)
+        ladder = [0.05, 0.1, 0.2]
+        schedule = list(policy.delays(key="n1:ep:7"))
+        for delay, base in zip(schedule, ladder):
+            assert base * 0.5 <= delay < base * 1.5
+        assert schedule != ladder  # scatter actually applied
+        assert list(RetryPolicy(jitter=0.5, seed=4).delays(key="n1:ep:7")) != schedule
+        assert list(policy.delays(key="n2:ep:7")) != schedule
+
+    def test_builder_threads_jitter_and_seed(self):
+        from repro.containers.presets import build_failover_pipeline
+        from repro.simkernel import Environment
+
+        env = Environment()
+        pipe = build_failover_pipeline(env, steps=8, seed=5)
+        # the bundled failover spec sets retry_jitter: 0.1; the builder
+        # derives the scatter seed from the schedule seed
+        assert pipe.messenger.retry.jitter == 0.1
+        assert pipe.messenger.retry.seed == 5

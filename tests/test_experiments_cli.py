@@ -14,7 +14,7 @@ class TestRunners:
         assert set(EXPERIMENTS) == {
             "table1", "table2", "fig3", "fig4", "fig5", "fig6",
             "fig7", "fig8", "fig9", "fig10", "overload", "predictive",
-            "dst", "fleet", "specs",
+            "failover", "dst", "fleet", "specs",
         }
 
     def test_unknown_experiment_rejected(self):

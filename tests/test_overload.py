@@ -247,3 +247,55 @@ class TestOverloadAcceptance:
 
     def test_sla_holds_for_delivered_steps(self, overload_result):
         assert overload_result["managed"]["sla_compliance_pct"] >= 90.0
+
+
+class TestReactivateOrdering:
+    def test_credits_reinstalled_before_writers_resume(self):
+        """Regression pin for the reactivate race: the credit window must
+        be reset *before* the paused writers resume, so the first
+        post-recovery dispatch is gated by the fresh window rather than
+        going out against the stale (or collapsed) one."""
+        from repro.overload.scenario import (
+            build_overload_pipeline as build_managed,
+            overload_burst_plan,
+        )
+
+        env = Environment()
+        pipe = build_managed(env, steps=16, seed=1, managed=True)
+        plan = overload_burst_plan(1, pipe)
+        if plan.events:
+            pipe.arm_faults(plan)
+
+        ops = []
+        for lname, link in pipe.links.items():
+            if link.credits is not None:
+                orig_reset = link.credits.reset
+
+                def reset(_orig=orig_reset, _l=lname):
+                    ops.append(("reset", _l, env.now))
+                    return _orig()
+
+                link.credits.reset = reset
+            orig_resume = link.resume_writers
+
+            def resume(_orig=orig_resume, _l=lname):
+                ops.append(("resume", _l, env.now))
+                return _orig()
+
+            link.resume_writers = resume
+
+        assert pipe.run(settle=600)
+        reactivations = [a for a in pipe.global_manager.actions_taken
+                         if a.startswith("reactivate")]
+        assert reactivations, "burst never pruned+reactivated a stage"
+        resets = [i for i, op in enumerate(ops) if op[0] == "reset"]
+        assert resets, "reactivate never reset a credit window"
+        for i in resets:
+            _, lname, at = ops[i]
+            following = next(
+                (op for op in ops[i + 1:] if op[1] == lname), None
+            )
+            assert following is not None, ops[i:]
+            # the very next touch of this link is the resume, at the same
+            # instant — reset-then-resume, never the other way around
+            assert following[0] == "resume" and following[2] == at, ops[i:]

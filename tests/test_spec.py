@@ -76,7 +76,9 @@ class TestRoundTrip:
         assert again.to_yaml() == spec.to_yaml()
 
     def test_bundled_specs_round_trip(self):
-        assert bundled_spec_names() == ["fig7", "overload", "predictive", "s3d"]
+        assert bundled_spec_names() == [
+            "failover", "fig7", "overload", "predictive", "s3d"
+        ]
         for name in bundled_spec_names():
             spec = load_preset(name).validate()
             assert PipelineSpec.from_yaml(spec.to_yaml()) == spec
